@@ -1,0 +1,137 @@
+//! Criterion micro-benchmarks of every stage of Dopia's pipeline.
+//!
+//! These guard the performance claims the system depends on: feature
+//! extraction and the malleable transform must be cheap enough for the
+//! compile path (`clCreateProgramWithSource`), model inference must be
+//! cheap enough for the launch path (the paper's Fig. 10(b) overhead
+//! ordering LIN ≈ DT << RF << SVR), and the profiler and DES must be fast
+//! enough to regenerate the full 1,224 x 44 grid in minutes.
+//!
+//! ```sh
+//! cargo bench -p dopia-bench --bench pipeline
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dopia_core::codegen::transform_malleable;
+use dopia_core::configs::config_space;
+use dopia_core::features::extract_code_features;
+use dopia_core::training::{dataset_from_records, run_grid, TrainingOptions};
+use dopia_core::PerfModel;
+use ml::ModelKind;
+use sim::{Engine, Memory, Schedule};
+use workloads::synthetic::SyntheticParams;
+
+fn bench_compile_path(c: &mut Criterion) {
+    let program = clc::compile(workloads::polybench::GESUMMV_SRC).unwrap();
+    let kernel = &program.kernels[0];
+
+    let mut group = c.benchmark_group("compile_path");
+    group.bench_function("clc_compile_gesummv", |b| {
+        b.iter(|| clc::compile(std::hint::black_box(workloads::polybench::GESUMMV_SRC)).unwrap())
+    });
+    group.bench_function("feature_extraction_gesummv", |b| {
+        b.iter(|| extract_code_features(std::hint::black_box(kernel)))
+    });
+    group.bench_function("malleable_transform_gesummv", |b| {
+        b.iter(|| transform_malleable(std::hint::black_box(kernel), 1).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_launch_path(c: &mut Criterion) {
+    let engine = Engine::kaveri();
+    let space = config_space(&engine.platform);
+    // A small but non-trivial training set.
+    let grid: Vec<SyntheticParams> =
+        workloads::synthetic::training_grid().into_iter().step_by(40).collect();
+    let records = run_grid(&engine, &grid, &space, &TrainingOptions::default());
+    let data = dataset_from_records(&records, &space);
+    let record = &records[0];
+
+    let mut group = c.benchmark_group("model_inference_44_configs");
+    for kind in ModelKind::all() {
+        let model = PerfModel::train(kind, &data, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &model, |b, m| {
+            b.iter(|| {
+                m.select_config(
+                    record.code,
+                    record.work_dim,
+                    record.global_size,
+                    record.local_size,
+                    &space,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let engine = Engine::kaveri();
+    let mut mem = Memory::new();
+    let built = workloads::polybench::gesummv(&mut mem, 16384, 256);
+    let profile = engine.profile(built.spec(), &mut mem).unwrap();
+
+    let mut group = c.benchmark_group("simulator");
+    group.bench_function("profile_gesummv_16384", |b| {
+        b.iter(|| engine.profile(built.spec(), &mut mem).unwrap())
+    });
+    group.bench_function("des_dynamic_64_groups", |b| {
+        b.iter(|| {
+            engine.simulate(
+                &profile,
+                &built.nd,
+                sim::engine::DopConfig { cpu_cores: 4, gpu_frac: 0.5 },
+                Schedule::Dynamic { chunk_divisor: 10 },
+                true,
+            )
+        })
+    });
+    group.bench_function("des_full_44_config_sweep", |b| {
+        let space = config_space(&engine.platform);
+        b.iter(|| {
+            space
+                .iter()
+                .map(|p| {
+                    engine
+                        .simulate(
+                            &profile,
+                            &built.nd,
+                            p.dop(),
+                            Schedule::Dynamic { chunk_divisor: 10 },
+                            true,
+                        )
+                        .time_s
+                })
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_training(c: &mut Criterion) {
+    let engine = Engine::kaveri();
+    let space = config_space(&engine.platform);
+    let grid: Vec<SyntheticParams> =
+        workloads::synthetic::training_grid().into_iter().step_by(100).collect();
+    let records = run_grid(&engine, &grid, &space, &TrainingOptions::default());
+    let data = dataset_from_records(&records, &space);
+
+    let mut group = c.benchmark_group("model_training");
+    group.sample_size(10);
+    for kind in [ModelKind::Lin, ModelKind::Dt] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &k| {
+            b.iter(|| PerfModel::train(k, &data, 1))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_compile_path,
+    bench_launch_path,
+    bench_simulator,
+    bench_training
+);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! **Figure 10** — Prediction accuracy and inference overhead of the four
+//! ML model families (LIN, SVR, DT, RF), evaluated with 64-fold
+//! workload-level cross-validation over the 1,224 parameterizable
+//! workloads, on both platforms.
+//!
+//! Paper shape: tree-based models (DT, RF) beat the regression families
+//! (LIN, SVR on this feature set ranks between them) on accuracy, while
+//! LIN and DT have orders-of-magnitude lower inference overhead than SVR
+//! and RF — which is why Dopia defaults to DT.
+//!
+//! ```sh
+//! cargo run --release -p dopia-bench --bin fig10_models
+//! ```
+
+use bench_support::{banner, csv::CsvWriter, cv, folds, grid, grid_step, platforms, results_dir, stats::Summary};
+use dopia_core::configs::config_space;
+use ml::ModelKind;
+
+fn main() {
+    let step = grid_step();
+    let k = folds();
+    let path = results_dir().join("fig10_models.csv");
+    let mut csv = CsvWriter::create(
+        &path,
+        &[
+            "platform",
+            "model",
+            "perf_mean",
+            "perf_median",
+            "perf_p25",
+            "perf_p75",
+            "inference_ms",
+            "train_s",
+            "correct",
+            "workloads",
+        ],
+    )
+    .unwrap();
+
+    for engine in platforms() {
+        banner(&format!(
+            "Figure 10: model families on {} ({}-fold CV over {} workloads)",
+            engine.platform.name,
+            k,
+            1224 / step
+        ));
+        let records = grid::synthetic_records(&engine, step);
+        let space = config_space(&engine.platform);
+        println!(
+            "{:>5} {:>10} {:>10} {:>14} {:>10} {:>9}",
+            "model", "perf mean", "perf med", "inference(ms)", "train(s)", "correct"
+        );
+        for kind in ModelKind::all() {
+            let out = cv::workload_cv(&records, &space, kind, k, 0xF16);
+            let s = Summary::of(&out.perf);
+            println!(
+                "{:>5} {:>10.3} {:>10.3} {:>14.4} {:>10.2} {:>9}",
+                kind.label(),
+                s.mean,
+                s.median,
+                out.inference_s * 1e3,
+                out.train_s,
+                out.correct
+            );
+            csv.row(&[
+                engine.platform.name.clone(),
+                kind.label().to_string(),
+                format!("{}", s.mean),
+                format!("{}", s.median),
+                format!("{}", s.p25),
+                format!("{}", s.p75),
+                format!("{}", out.inference_s * 1e3),
+                format!("{}", out.train_s),
+                format!("{}", out.correct),
+                format!("{}", records.len()),
+            ])
+            .unwrap();
+        }
+        println!(
+            "\n  paper shape: DT/RF accuracy > LIN; inference LIN ~= DT << RF << SVR (log scale)"
+        );
+    }
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,86 @@
+//! **Figure 11** — 64-fold cross-validation over the 1,224 parameterizable
+//! workloads: (a) the normalized Euclidean-distance error between the
+//! chosen and the best configuration in (CPU util, GPU util) space, and
+//! (b) the normalized performance of the choice versus the exhaustive
+//! oracle — for CPU-only, GPU-only, ALL, and Dopia's model.
+//!
+//! Paper reference: Dopia's mean Euclidean error is 15% (Kaveri) / 22%
+//! (Skylake) and its mean normalized performance 94% / 92%, far ahead of
+//! the fixed allocations.
+//!
+//! ```sh
+//! cargo run --release -p dopia-bench --bin fig11_crossval
+//! ```
+
+use bench_support::{banner, csv::CsvWriter, cv, folds, grid, grid_step, platforms, results_dir, stats::Summary};
+use dopia_core::baselines::Baseline;
+use dopia_core::configs::config_space;
+use ml::ModelKind;
+
+fn main() {
+    let step = grid_step();
+    let k = folds();
+    let path = results_dir().join("fig11_crossval.csv");
+    let mut csv = CsvWriter::create(
+        &path,
+        &["platform", "config", "metric", "mean", "median", "p25", "p75", "p95"],
+    )
+    .unwrap();
+
+    for engine in platforms() {
+        banner(&format!("Figure 11 on {}", engine.platform.name));
+        let records = grid::synthetic_records(&engine, step);
+        let space = config_space(&engine.platform);
+        let max = engine.platform.cpu.cores;
+        let out = cv::workload_cv(&records, &space, ModelKind::Dt, k, 0xF11);
+
+        // Per-configuration samples: euclidean error and normalized perf.
+        let mut samples: Vec<(String, Vec<f64>, Vec<f64>)> = Vec::new();
+        for b in Baseline::all() {
+            let idx = b.config_index(&space, max);
+            let err: Vec<f64> = records
+                .iter()
+                .map(|r| space[idx].normalized_distance(&space[r.best_index]))
+                .collect();
+            let perf: Vec<f64> = records.iter().map(|r| r.normalized_perf(idx)).collect();
+            samples.push((b.label().to_string(), err, perf));
+        }
+        samples.push(("Dopia".to_string(), out.euclid.clone(), out.perf.clone()));
+
+        println!(
+            "{:>7} | {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10}",
+            "config", "err mean", "err med", "err p75", "perf mean", "perf med", "perf p25"
+        );
+        for (label, err, perf) in &samples {
+            let e = Summary::of(err);
+            let p = Summary::of(perf);
+            println!(
+                "{:>7} | {:>10.3} {:>10.3} {:>10.3} | {:>10.3} {:>10.3} {:>10.3}",
+                label, e.mean, e.median, e.p75, p.mean, p.median, p.p25
+            );
+            for (metric, s) in [("euclid_error", e), ("normalized_perf", p)] {
+                csv.row(&[
+                    engine.platform.name.clone(),
+                    label.clone(),
+                    metric.to_string(),
+                    format!("{}", s.mean),
+                    format!("{}", s.median),
+                    format!("{}", s.p25),
+                    format!("{}", s.p75),
+                    format!("{}", s.p95),
+                ])
+                .unwrap();
+            }
+        }
+        let dopia_perf = Summary::of(&out.perf).mean;
+        let dopia_err = Summary::of(&out.euclid).mean;
+        println!(
+            "\n  paper: Dopia mean err 0.15 (Kaveri) / 0.22 (Skylake); mean perf 0.94 / 0.92"
+        );
+        println!(
+            "  measured: mean err {:.3}, mean perf {:.3}",
+            dopia_err, dopia_perf
+        );
+    }
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,70 @@
+//! **Figure 12** — Average normalized performance of every constant
+//! CPU/GPU allocation over the 1,224 parameterizable workloads, on both
+//! platforms (the 5 x 9 heatmap showing no constant allocation is good
+//! everywhere).
+//!
+//! ```sh
+//! cargo run --release -p dopia-bench --bin fig12_avg_heatmap
+//! ```
+
+use bench_support::{banner, csv::CsvWriter, grid, grid_step, platforms, results_dir};
+use dopia_core::configs::{config_space, find_config};
+
+fn main() {
+    let step = grid_step();
+    let path = results_dir().join("fig12_avg_heatmap.csv");
+    let mut csv = CsvWriter::create(
+        &path,
+        &["platform", "cpu_alloc", "gpu_alloc", "avg_normalized_perf"],
+    )
+    .unwrap();
+
+    for engine in platforms() {
+        banner(&format!("Figure 12: average heatmap on {}", engine.platform.name));
+        let records = grid::synthetic_records(&engine, step);
+        let space = config_space(&engine.platform);
+        let max = engine.platform.cpu.cores;
+        let cpu_levels: Vec<usize> = (0..=4).map(|l| max * l / 4).collect();
+
+        print!("{:>10}", "GPU\\CPU");
+        for &cpu in &cpu_levels {
+            print!("{:>7.2}", cpu as f64 / max as f64);
+        }
+        println!();
+        let mut best_cell = (0.0f64, 0usize, 0usize);
+        for g in (0..=8usize).rev() {
+            print!("{:>10.3}", g as f64 / 8.0);
+            for &cpu in &cpu_levels {
+                match find_config(&space, cpu, g) {
+                    Some(idx) => {
+                        let avg: f64 = records
+                            .iter()
+                            .map(|r| r.normalized_perf(idx))
+                            .sum::<f64>()
+                            / records.len() as f64;
+                        print!("{:>7.2}", avg);
+                        if avg > best_cell.0 {
+                            best_cell = (avg, cpu, g);
+                        }
+                        csv.row(&[
+                            engine.platform.name.clone(),
+                            format!("{}", cpu as f64 / max as f64),
+                            format!("{}", g as f64 / 8.0),
+                            format!("{}", avg),
+                        ])
+                        .unwrap();
+                    }
+                    None => print!("{:>7}", "-"),
+                }
+            }
+            println!();
+        }
+        println!(
+            "\n  best constant allocation: CPU {:.2}, GPU {:.3} -> {:.1}% (paper: CPU 1.0, GPU 0.125 -> 82.5% Kaveri / 81.6% Skylake)",
+            best_cell.1 as f64 / max as f64,
+            best_cell.2 as f64 / 8.0,
+            100.0 * best_cell.0
+        );
+    }
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,20 @@
+//! Measure (and cache) the full synthetic grid for both platforms.
+//! Other experiment binaries load the cache automatically.
+//!
+//! ```sh
+//! cargo run --release -p dopia-bench --bin make_grid
+//! ```
+
+use bench_support::{grid, grid_step, platforms};
+
+fn main() {
+    let step = grid_step();
+    for engine in platforms() {
+        let records = grid::synthetic_records(&engine, step);
+        println!(
+            "{}: {} workloads cached",
+            engine.platform.name,
+            records.len()
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! **Table 6** — Normalized performance (vs the Exhaustive oracle) of the
+//! static partitionings CPU, GPU, ALL, the best overall constant
+//! allocation, and Dopia, averaged over the 1,224 parameterizable
+//! workloads.
+//!
+//! Paper reference (Kaveri / Skylake):
+//! CPU 70.7% / 60.7%, GPU 18.6% / 39.5%, ALL 62.3% / 69.6%,
+//! best constant (CPU 1.0, GPU 0.125) 82.5% / 81.6%, Dopia 94.1% / 92.2%.
+//!
+//! ```sh
+//! cargo run --release -p dopia-bench --bin table06_static
+//! ```
+
+use bench_support::{banner, csv::CsvWriter, cv, folds, grid, grid_step, platforms, results_dir};
+use dopia_core::baselines::Baseline;
+use dopia_core::configs::config_space;
+use ml::ModelKind;
+
+fn main() {
+    let step = grid_step();
+    let k = folds();
+    let path = results_dir().join("table06_static.csv");
+    let mut csv = CsvWriter::create(
+        &path,
+        &["platform", "configuration", "normalized_perf_pct"],
+    )
+    .unwrap();
+
+    banner("Table 6: static partitionings vs Exhaustive");
+    let paper: &[(&str, f64, f64)] = &[
+        ("CPU", 70.7, 60.7),
+        ("GPU", 18.6, 39.5),
+        ("ALL", 62.3, 69.6),
+        ("Best const.alloc.", 82.5, 81.6),
+        ("Dopia", 94.1, 92.2),
+    ];
+
+    for (pi, engine) in platforms().into_iter().enumerate() {
+        let records = grid::synthetic_records(&engine, step);
+        let space = config_space(&engine.platform);
+        let max = engine.platform.cpu.cores;
+
+        let avg_at = |idx: usize| -> f64 {
+            100.0 * records.iter().map(|r| r.normalized_perf(idx)).sum::<f64>()
+                / records.len() as f64
+        };
+
+        let mut rows: Vec<(String, f64)> = Vec::new();
+        for b in Baseline::all() {
+            rows.push((b.label().to_string(), avg_at(b.config_index(&space, max))));
+        }
+        // Best constant allocation: the single config with the highest
+        // average normalized performance.
+        let (best_idx, best_avg) = (0..space.len())
+            .map(|i| (i, avg_at(i)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        rows.push((
+            format!(
+                "Best const (CPU {:.2}, GPU {:.3})",
+                space[best_idx].cpu_util, space[best_idx].gpu_util
+            ),
+            best_avg,
+        ));
+        let out = cv::workload_cv(&records, &space, ModelKind::Dt, k, 0x7AB6);
+        rows.push((
+            "Dopia (DT model)".to_string(),
+            100.0 * out.perf.iter().sum::<f64>() / out.perf.len() as f64,
+        ));
+
+        println!("\n{}:", engine.platform.name);
+        println!("{:>34} {:>10} {:>10}", "configuration", "measured", "paper");
+        for (i, (label, measured)) in rows.iter().enumerate() {
+            let paper_val = if pi == 0 { paper[i].1 } else { paper[i].2 };
+            println!("{:>34} {:>9.1}% {:>9.1}%", label, measured, paper_val);
+            csv.row(&[
+                engine.platform.name.clone(),
+                label.replace(',', ";"),
+                format!("{}", measured),
+            ])
+            .unwrap();
+        }
+    }
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,30 @@
+//! Internal: probe model training/inference costs on the full dataset.
+use bench_support::grid;
+use dopia_core::configs::config_space;
+use dopia_core::training::dataset_from_records;
+use dopia_core::PerfModel;
+use ml::ModelKind;
+use sim::Engine;
+use std::time::Instant;
+
+fn main() {
+    let engine = Engine::kaveri();
+    let records = grid::synthetic_records(&engine, 1);
+    let space = config_space(&engine.platform);
+    let data = dataset_from_records(&records, &space);
+    println!("dataset: {} rows x {} features", data.len(), data.dims());
+    for kind in ModelKind::all() {
+        let t0 = Instant::now();
+        let model = PerfModel::train(kind, &data, 1);
+        let t_train = t0.elapsed().as_secs_f64();
+        let r = &records[0];
+        let t0 = Instant::now();
+        let mut sel = None;
+        for _ in 0..10 {
+            sel = Some(model.select_config(r.code, r.work_dim, r.global_size, r.local_size, &space));
+        }
+        let t_inf = t0.elapsed().as_secs_f64() / 10.0;
+        println!("{:<4} train {:>8.2}s   inference/44-sweep {:>10.3}ms  pick={:?}",
+            kind.label(), t_train, t_inf*1e3, sel.unwrap().index);
+    }
+}

@@ -1,0 +1,65 @@
+//! Train production models on the full 1,224-workload synthetic grid and
+//! persist them under `results/models/` — the artifact a deployment would
+//! ship (paper Section 5.2: the model is trained offline once per
+//! platform).
+//!
+//! ```sh
+//! cargo run --release -p dopia-bench --bin train_model          # all four
+//! cargo run --release -p dopia-bench --bin train_model DT RF    # a subset
+//! ```
+
+use bench_support::{banner, grid, grid_step, platforms, results_dir};
+use dopia_core::configs::config_space;
+use dopia_core::training::dataset_from_records;
+use ml::ModelKind;
+
+fn main() {
+    let requested: Vec<String> = std::env::args().skip(1).collect();
+    let kinds: Vec<ModelKind> = if requested.is_empty() {
+        ModelKind::all().to_vec()
+    } else {
+        requested
+            .iter()
+            .map(|r| match r.to_uppercase().as_str() {
+                "LIN" => ModelKind::Lin,
+                "SVR" => ModelKind::Svr,
+                "DT" => ModelKind::Dt,
+                "RF" => ModelKind::Rf,
+                other => panic!("unknown model kind `{}` (use LIN/SVR/DT/RF)", other),
+            })
+            .collect()
+    };
+
+    let dir = results_dir().join("models");
+    std::fs::create_dir_all(&dir).expect("create models dir");
+    let step = grid_step();
+
+    for engine in platforms() {
+        banner(&format!("training on {}", engine.platform.name));
+        let records = grid::synthetic_records(&engine, step);
+        let space = config_space(&engine.platform);
+        let data = dataset_from_records(&records, &space);
+        println!("dataset: {} samples x {} features", data.len(), data.dims());
+        for &kind in &kinds {
+            let start = std::time::Instant::now();
+            let (_, text) = ml::io::train_serialized(kind, &data, 0xD0);
+            let path = dir.join(format!(
+                "{}_{}.model",
+                engine.platform.name.to_lowercase(),
+                kind.label().to_lowercase()
+            ));
+            std::fs::write(&path, &text).expect("write model");
+            println!(
+                "  {:<4} trained in {:>6.2}s -> {} ({} bytes)",
+                kind.label(),
+                start.elapsed().as_secs_f64(),
+                path.display(),
+                text.len()
+            );
+            // Round-trip check: the persisted model must load and agree.
+            let reloaded = dopia_core::PerfModel::load(&path).expect("model loads");
+            assert_eq!(reloaded.kind(), kind);
+        }
+    }
+    println!("\nload with `dopia_core::PerfModel::load(path)`.");
+}

@@ -1,0 +1,108 @@
+//! Disk cache for the measurement grid: the 1,224-workload x 44-config
+//! sweep takes a while, and several experiment binaries need it, so the
+//! first run persists it under `results/cache/`.
+
+use dopia_core::training::WorkloadRecord;
+use dopia_core::CodeFeatures;
+use std::path::PathBuf;
+
+fn cache_path(platform: &str, step: usize) -> PathBuf {
+    let dir = crate::results_dir().join("cache");
+    std::fs::create_dir_all(&dir).expect("create cache dir");
+    dir.join(format!("grid_{}_step{}.tsv", platform.to_lowercase(), step))
+}
+
+/// Serialize records (one line per workload).
+pub fn save(platform: &str, step: usize, records: &[WorkloadRecord]) {
+    let mut text = String::new();
+    for r in records {
+        let times: Vec<String> = r.times.iter().map(|t| format!("{:e}", t)).collect();
+        text.push_str(&format!(
+            "{}\t{} {} {} {} {} {}\t{}\t{}\t{}\t{}\t{}\n",
+            r.name,
+            r.code.mem_constant,
+            r.code.mem_continuous,
+            r.code.mem_stride,
+            r.code.mem_random,
+            r.code.arith_int,
+            r.code.arith_float,
+            r.work_dim,
+            r.global_size,
+            r.local_size,
+            r.best_index,
+            times.join(","),
+        ));
+    }
+    std::fs::write(cache_path(platform, step), text).expect("write grid cache");
+}
+
+/// Load records if a cache exists and parses cleanly.
+pub fn load(platform: &str, step: usize) -> Option<Vec<WorkloadRecord>> {
+    let text = std::fs::read_to_string(cache_path(platform, step)).ok()?;
+    let mut records = Vec::new();
+    for line in text.lines() {
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != 7 {
+            return None;
+        }
+        let code_parts: Vec<u32> =
+            fields[1].split(' ').map(|v| v.parse().ok()).collect::<Option<_>>()?;
+        if code_parts.len() != 6 {
+            return None;
+        }
+        let times: Vec<f64> =
+            fields[6].split(',').map(|v| v.parse().ok()).collect::<Option<_>>()?;
+        records.push(WorkloadRecord {
+            name: fields[0].to_string(),
+            code: CodeFeatures {
+                mem_constant: code_parts[0],
+                mem_continuous: code_parts[1],
+                mem_stride: code_parts[2],
+                mem_random: code_parts[3],
+                arith_int: code_parts[4],
+                arith_float: code_parts[5],
+            },
+            work_dim: fields[2].parse().ok()?,
+            global_size: fields[3].parse().ok()?,
+            local_size: fields[4].parse().ok()?,
+            best_index: fields[5].parse().ok()?,
+            times,
+        });
+    }
+    Some(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_records() {
+        std::env::set_var("DOPIA_RESULTS_DIR", std::env::temp_dir().join("dopia_cache_test"));
+        let records = vec![WorkloadRecord {
+            name: "w1".into(),
+            code: CodeFeatures {
+                mem_constant: 1,
+                mem_continuous: 2,
+                mem_stride: 3,
+                mem_random: 4,
+                arith_int: 5,
+                arith_float: 6,
+            },
+            work_dim: 2,
+            global_size: 1024,
+            local_size: 64,
+            best_index: 1,
+            times: vec![0.5, 0.25, 1.5],
+        }];
+        save("TestPlat", 3, &records);
+        let loaded = load("TestPlat", 3).expect("cache loads");
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].name, "w1");
+        assert_eq!(loaded[0].times, records[0].times);
+        assert_eq!(loaded[0].code, records[0].code);
+        assert_eq!(loaded[0].best_index, 1);
+        assert!(load("TestPlat", 4).is_none());
+        std::env::remove_var("DOPIA_RESULTS_DIR");
+    }
+}

@@ -1,0 +1,64 @@
+//! Minimal CSV writing (quote-free fields only — names and numbers).
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// A simple CSV writer.
+pub struct CsvWriter {
+    out: BufWriter<File>,
+    columns: usize,
+}
+
+impl CsvWriter {
+    /// Create `path` and write the header row.
+    pub fn create(path: &Path, header: &[&str]) -> std::io::Result<CsvWriter> {
+        let mut out = BufWriter::new(File::create(path)?);
+        writeln!(out, "{}", header.join(","))?;
+        Ok(CsvWriter { out, columns: header.len() })
+    }
+
+    /// Write one row (must match the header width).
+    pub fn row(&mut self, fields: &[String]) -> std::io::Result<()> {
+        assert_eq!(fields.len(), self.columns, "CSV row width mismatch");
+        debug_assert!(
+            fields.iter().all(|f| !f.contains(',') && !f.contains('\n')),
+            "fields must not need quoting"
+        );
+        writeln!(self.out, "{}", fields.join(","))
+    }
+
+    /// Convenience: a name plus numeric fields.
+    pub fn row_mixed(&mut self, name: &str, values: &[f64]) -> std::io::Result<()> {
+        let mut fields = vec![name.to_string()];
+        fields.extend(values.iter().map(|v| format!("{}", v)));
+        self.row(&fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_header_and_rows() {
+        let dir = std::env::temp_dir().join("dopia_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        {
+            let mut w = CsvWriter::create(&path, &["name", "a", "b"]).unwrap();
+            w.row_mixed("x", &[1.0, 2.5]).unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "name,a,b\nx,1,2.5\n");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_wrong_width() {
+        let dir = std::env::temp_dir().join("dopia_csv_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut w = CsvWriter::create(&dir.join("t.csv"), &["a", "b"]).unwrap();
+        w.row(&["only-one".into()]).unwrap();
+    }
+}

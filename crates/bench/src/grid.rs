@@ -1,0 +1,64 @@
+//! Measurement-grid acquisition: the synthetic training grid and the
+//! real-world kernel suite, measured across the full DoP space.
+
+use dopia_core::configs::{config_space, DopPoint};
+use dopia_core::training::{measure_workload, run_grid, TrainingOptions, WorkloadRecord};
+use sim::{Engine, Memory};
+use workloads::synthetic::SyntheticParams;
+use workloads::BuiltKernel;
+
+/// Measure (or load from cache) the synthetic grid for a platform at the
+/// given subsampling step.
+pub fn synthetic_records(engine: &Engine, step: usize) -> Vec<WorkloadRecord> {
+    if let Some(cached) = crate::cache::load(&engine.platform.name, step) {
+        println!(
+            "[grid] {}: loaded {} cached workloads (step {})",
+            engine.platform.name,
+            cached.len(),
+            step
+        );
+        return cached;
+    }
+    let space = config_space(&engine.platform);
+    let grid: Vec<SyntheticParams> = workloads::synthetic::training_grid()
+        .into_iter()
+        .step_by(step)
+        .collect();
+    println!(
+        "[grid] {}: measuring {} workloads x {} configs...",
+        engine.platform.name,
+        grid.len(),
+        space.len()
+    );
+    let start = std::time::Instant::now();
+    let records = run_grid(engine, &grid, &space, &TrainingOptions::default());
+    println!("[grid] done in {:.1}s", start.elapsed().as_secs_f64());
+    crate::cache::save(&engine.platform.name, step, &records);
+    records
+}
+
+/// Measure the 14 real-world kernels (paper Table 4 inputs) across the
+/// full space. `wg_variant` 1 selects the large work-groups (256 / 16x16),
+/// which is what Fig. 13 reports for the 1-D kernels.
+pub fn real_world_records(engine: &Engine, wg_variant: usize) -> Vec<WorkloadRecord> {
+    let space = config_space(&engine.platform);
+    let mut mem = Memory::new();
+    let suite = workloads::real_world_suite(&mut mem, wg_variant);
+    measure_suite(engine, &suite, &mut mem, &space)
+}
+
+/// Measure an arbitrary suite of built kernels.
+pub fn measure_suite(
+    engine: &Engine,
+    suite: &[BuiltKernel],
+    mem: &mut Memory,
+    space: &[DopPoint],
+) -> Vec<WorkloadRecord> {
+    suite
+        .iter()
+        .map(|built| {
+            measure_workload(engine, built, mem, space, &TrainingOptions::default())
+                .unwrap_or_else(|e| panic!("{}: {}", built.name, e))
+        })
+        .collect()
+}

@@ -1,0 +1,98 @@
+//! Distribution statistics for the paper's box plots.
+
+/// Summary statistics of a sample (paper Fig. 9/11 box conventions: box =
+/// 25th/75th percentile, whiskers = 5th/95th, plus mean and median lines).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    pub mean: f64,
+    pub median: f64,
+    pub p5: f64,
+    pub p25: f64,
+    pub p75: f64,
+    pub p95: f64,
+    pub min: f64,
+    pub max: f64,
+    pub n: usize,
+}
+
+impl Summary {
+    /// Compute over a sample (panics on empty input).
+    pub fn of(values: &[f64]) -> Summary {
+        assert!(!values.is_empty(), "summary of empty sample");
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Summary {
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            median: percentile(&sorted, 50.0),
+            p5: percentile(&sorted, 5.0),
+            p25: percentile(&sorted, 25.0),
+            p75: percentile(&sorted, 75.0),
+            p95: percentile(&sorted, 95.0),
+            min: sorted[0],
+            max: *sorted.last().unwrap(),
+            n: sorted.len(),
+        }
+    }
+
+    /// The fields as CSV-ready numbers.
+    pub fn values(&self) -> [f64; 8] {
+        [self.mean, self.median, self.p5, self.p25, self.p75, self.p95, self.min, self.max]
+    }
+
+    /// CSV header matching [`Summary::values`].
+    pub const HEADER: [&'static str; 8] =
+        ["mean", "median", "p5", "p25", "p75", "p95", "min", "max"];
+}
+
+/// Linear-interpolated percentile of a pre-sorted sample.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Geometric mean (panics on non-positive values).
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty());
+    assert!(values.iter().all(|&v| v > 0.0), "geomean needs positive values");
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = Summary::of(&v);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        assert!((s.median - 50.5).abs() < 1e-9);
+        assert!((s.p25 - 25.75).abs() < 1e-9);
+        assert!((s.p95 - 95.05).abs() < 1e-9);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.n, 100);
+    }
+
+    #[test]
+    fn percentile_edges() {
+        let v = [1.0, 2.0, 3.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 3.0);
+        assert_eq!(percentile(&v, 50.0), 2.0);
+        assert_eq!(percentile(&[7.0], 50.0), 7.0);
+    }
+
+    #[test]
+    fn geomean_known() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,478 @@
+//! Abstract syntax tree for the OpenCL-C subset.
+//!
+//! The tree is a plain owned structure (boxed children) so that transforms —
+//! notably Dopia's malleable-kernel rewrite — can clone and splice subtrees
+//! freely. Every node carries a [`Span`] for diagnostics.
+
+use crate::span::Span;
+use std::fmt;
+
+/// Scalar value types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scalar {
+    Bool,
+    Int,
+    Uint,
+    Long,
+    Ulong,
+    Float,
+}
+
+impl Scalar {
+    /// True for `float`.
+    pub fn is_float(&self) -> bool {
+        matches!(self, Scalar::Float)
+    }
+
+    /// True for any integer type (including `bool`, which participates in
+    /// integer promotion as in C).
+    pub fn is_integer(&self) -> bool {
+        !self.is_float()
+    }
+
+    /// Size of one element in bytes (used by the simulator's memory model).
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Scalar::Bool => 1,
+            Scalar::Int | Scalar::Uint | Scalar::Float => 4,
+            Scalar::Long | Scalar::Ulong => 8,
+        }
+    }
+
+    /// Usual arithmetic conversion of two scalars (C-style promotion,
+    /// simplified: float > long/ulong > int/uint > bool).
+    pub fn promote(self, other: Scalar) -> Scalar {
+        use Scalar::*;
+        if self == Float || other == Float {
+            Float
+        } else if self == Ulong || other == Ulong {
+            Ulong
+        } else if self == Long || other == Long {
+            Long
+        } else if self == Uint || other == Uint {
+            Uint
+        } else {
+            Int
+        }
+    }
+}
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Scalar::Bool => "bool",
+            Scalar::Int => "int",
+            Scalar::Uint => "uint",
+            Scalar::Long => "long",
+            Scalar::Ulong => "ulong",
+            Scalar::Float => "float",
+        };
+        write!(f, "{}", s)
+    }
+}
+
+/// OpenCL address spaces for pointer parameters and local declarations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Space {
+    Global,
+    Local,
+    Constant,
+    Private,
+}
+
+impl fmt::Display for Space {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Space::Global => "__global",
+            Space::Local => "__local",
+            Space::Constant => "__constant",
+            Space::Private => "__private",
+        };
+        write!(f, "{}", s)
+    }
+}
+
+/// Types in the subset: `void`, scalars, and single-level pointers to
+/// scalars qualified by an address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Type {
+    Void,
+    Scalar(Scalar),
+    Ptr { space: Space, elem: Scalar },
+}
+
+impl Type {
+    pub const INT: Type = Type::Scalar(Scalar::Int);
+    pub const UINT: Type = Type::Scalar(Scalar::Uint);
+    pub const LONG: Type = Type::Scalar(Scalar::Long);
+    pub const ULONG: Type = Type::Scalar(Scalar::Ulong);
+    pub const FLOAT: Type = Type::Scalar(Scalar::Float);
+    pub const BOOL: Type = Type::Scalar(Scalar::Bool);
+
+    /// The scalar payload, if this is a scalar type.
+    pub fn as_scalar(&self) -> Option<Scalar> {
+        match self {
+            Type::Scalar(s) => Some(*s),
+            _ => None,
+        }
+    }
+
+    /// The pointee, if this is a pointer type.
+    pub fn pointee(&self) -> Option<Scalar> {
+        match self {
+            Type::Ptr { elem, .. } => Some(*elem),
+            _ => None,
+        }
+    }
+
+    pub fn is_pointer(&self) -> bool {
+        matches!(self, Type::Ptr { .. })
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Void => write!(f, "void"),
+            Type::Scalar(s) => write!(f, "{}", s),
+            Type::Ptr { space, elem } => write!(f, "{} {}*", space, elem),
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Shl,
+    Shr,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    Eq,
+    Ne,
+    And,  // &&
+    Or,   // ||
+    BitAnd,
+    BitOr,
+    BitXor,
+}
+
+impl BinOp {
+    /// True for comparison and logical operators (result type `bool`).
+    pub fn is_comparison(&self) -> bool {
+        use BinOp::*;
+        matches!(self, Lt | Gt | Le | Ge | Eq | Ne | And | Or)
+    }
+
+    /// True for operators that only accept integer operands.
+    pub fn integer_only(&self) -> bool {
+        use BinOp::*;
+        matches!(self, Shl | Shr | BitAnd | BitOr | BitXor | Rem)
+    }
+
+    /// Source spelling.
+    pub fn symbol(&self) -> &'static str {
+        use BinOp::*;
+        match self {
+            Add => "+",
+            Sub => "-",
+            Mul => "*",
+            Div => "/",
+            Rem => "%",
+            Shl => "<<",
+            Shr => ">>",
+            Lt => "<",
+            Gt => ">",
+            Le => "<=",
+            Ge => ">=",
+            Eq => "==",
+            Ne => "!=",
+            And => "&&",
+            Or => "||",
+            BitAnd => "&",
+            BitOr => "|",
+            BitXor => "^",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    Neg,
+    Not,    // !
+    BitNot, // ~
+}
+
+impl UnOp {
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            UnOp::Neg => "-",
+            UnOp::Not => "!",
+            UnOp::BitNot => "~",
+        }
+    }
+}
+
+/// Assignment operators (`=`, `+=`, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AssignOp {
+    Assign,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+}
+
+impl AssignOp {
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            AssignOp::Assign => "=",
+            AssignOp::Add => "+=",
+            AssignOp::Sub => "-=",
+            AssignOp::Mul => "*=",
+            AssignOp::Div => "/=",
+            AssignOp::Rem => "%=",
+        }
+    }
+
+    /// The underlying binary operator for compound assignments.
+    pub fn binop(&self) -> Option<BinOp> {
+        Some(match self {
+            AssignOp::Assign => return None,
+            AssignOp::Add => BinOp::Add,
+            AssignOp::Sub => BinOp::Sub,
+            AssignOp::Mul => BinOp::Mul,
+            AssignOp::Div => BinOp::Div,
+            AssignOp::Rem => BinOp::Rem,
+        })
+    }
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    IntLit { value: i64, span: Span },
+    FloatLit { value: f64, span: Span },
+    BoolLit { value: bool, span: Span },
+    Ident { name: String, span: Span },
+    Unary { op: UnOp, operand: Box<Expr>, span: Span },
+    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr>, span: Span },
+    /// `target op= value`; `target` must be an lvalue (ident or index).
+    Assign { op: AssignOp, target: Box<Expr>, value: Box<Expr>, span: Span },
+    /// `++x`, `x++`, `--x`, `x--`.
+    IncDec { inc: bool, pre: bool, target: Box<Expr>, span: Span },
+    /// Builtin or user call: `name(args...)`.
+    Call { name: String, args: Vec<Expr>, span: Span },
+    /// `base[index]`; `base` must have pointer (or local array) type.
+    Index { base: Box<Expr>, index: Box<Expr>, span: Span },
+    /// `(scalar) expr`.
+    Cast { to: Scalar, operand: Box<Expr>, span: Span },
+    /// `cond ? then : else`.
+    Ternary { cond: Box<Expr>, then: Box<Expr>, els: Box<Expr>, span: Span },
+}
+
+impl Expr {
+    /// The source span of this expression.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::IntLit { span, .. }
+            | Expr::FloatLit { span, .. }
+            | Expr::BoolLit { span, .. }
+            | Expr::Ident { span, .. }
+            | Expr::Unary { span, .. }
+            | Expr::Binary { span, .. }
+            | Expr::Assign { span, .. }
+            | Expr::IncDec { span, .. }
+            | Expr::Call { span, .. }
+            | Expr::Index { span, .. }
+            | Expr::Cast { span, .. }
+            | Expr::Ternary { span, .. } => *span,
+        }
+    }
+
+    /// Convenience constructor: identifier with a synthetic span.
+    pub fn ident(name: impl Into<String>) -> Expr {
+        Expr::Ident { name: name.into(), span: Span::synthetic() }
+    }
+
+    /// Convenience constructor: integer literal with a synthetic span.
+    pub fn int(value: i64) -> Expr {
+        Expr::IntLit { value, span: Span::synthetic() }
+    }
+
+    /// Convenience constructor: call with a synthetic span.
+    pub fn call(name: impl Into<String>, args: Vec<Expr>) -> Expr {
+        Expr::Call { name: name.into(), args, span: Span::synthetic() }
+    }
+
+    /// Convenience constructor: binary op with a synthetic span.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), span: Span::synthetic() }
+    }
+
+    /// Convenience constructor: `base[index]` with a synthetic span.
+    pub fn index(base: Expr, index: Expr) -> Expr {
+        Expr::Index { base: Box::new(base), index: Box::new(index), span: Span::synthetic() }
+    }
+
+    /// Convenience constructor: simple assignment with a synthetic span.
+    pub fn assign(target: Expr, value: Expr) -> Expr {
+        Expr::Assign {
+            op: AssignOp::Assign,
+            target: Box::new(target),
+            value: Box::new(value),
+            span: Span::synthetic(),
+        }
+    }
+
+    /// True if this expression is a syntactic lvalue.
+    pub fn is_lvalue(&self) -> bool {
+        matches!(self, Expr::Ident { .. } | Expr::Index { .. })
+    }
+}
+
+/// A local variable declaration. `array_len` is `Some` for array
+/// declarations like `__local int wl[1];` (only allowed with an explicit
+/// constant length and no initializer).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decl {
+    pub name: String,
+    pub ty: Type,
+    pub space: Space,
+    pub array_len: Option<usize>,
+    pub init: Option<Expr>,
+    pub span: Span,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    Decl(Decl),
+    Expr(Expr),
+    If { cond: Expr, then: Box<Stmt>, els: Option<Box<Stmt>>, span: Span },
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Option<Expr>,
+        step: Option<Expr>,
+        body: Box<Stmt>,
+        span: Span,
+    },
+    While { cond: Expr, body: Box<Stmt>, span: Span },
+    DoWhile { body: Box<Stmt>, cond: Expr, span: Span },
+    Block { stmts: Vec<Stmt>, span: Span },
+    Return { value: Option<Expr>, span: Span },
+    Break { span: Span },
+    Continue { span: Span },
+}
+
+impl Stmt {
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Decl(d) => d.span,
+            Stmt::Expr(e) => e.span(),
+            Stmt::If { span, .. }
+            | Stmt::For { span, .. }
+            | Stmt::While { span, .. }
+            | Stmt::DoWhile { span, .. }
+            | Stmt::Block { span, .. }
+            | Stmt::Return { span, .. }
+            | Stmt::Break { span }
+            | Stmt::Continue { span } => *span,
+        }
+    }
+
+    /// Convenience constructor: a block with a synthetic span.
+    pub fn block(stmts: Vec<Stmt>) -> Stmt {
+        Stmt::Block { stmts, span: Span::synthetic() }
+    }
+}
+
+/// A kernel parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    pub name: String,
+    pub ty: Type,
+    pub span: Span,
+}
+
+/// A `__kernel void f(...) { ... }` definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    pub name: String,
+    pub params: Vec<Param>,
+    pub body: Vec<Stmt>,
+    pub span: Span,
+}
+
+impl Kernel {
+    /// Look up a parameter by name.
+    pub fn param(&self, name: &str) -> Option<&Param> {
+        self.params.iter().find(|p| p.name == name)
+    }
+}
+
+/// A translation unit: one or more kernels.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    pub kernels: Vec<Kernel>,
+}
+
+impl Program {
+    /// Look up a kernel by name.
+    pub fn kernel(&self, name: &str) -> Option<&Kernel> {
+        self.kernels.iter().find(|k| k.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_promotion_is_commutative_and_ranked() {
+        use Scalar::*;
+        assert_eq!(Int.promote(Float), Float);
+        assert_eq!(Float.promote(Int), Float);
+        assert_eq!(Int.promote(Long), Long);
+        assert_eq!(Uint.promote(Int), Uint);
+        assert_eq!(Bool.promote(Bool), Int);
+        assert_eq!(Ulong.promote(Long), Ulong);
+    }
+
+    #[test]
+    fn scalar_sizes() {
+        assert_eq!(Scalar::Float.size_bytes(), 4);
+        assert_eq!(Scalar::Long.size_bytes(), 8);
+        assert_eq!(Scalar::Bool.size_bytes(), 1);
+    }
+
+    #[test]
+    fn lvalue_detection() {
+        assert!(Expr::ident("x").is_lvalue());
+        assert!(Expr::index(Expr::ident("a"), Expr::int(0)).is_lvalue());
+        assert!(!Expr::int(3).is_lvalue());
+        assert!(!Expr::bin(BinOp::Add, Expr::int(1), Expr::int(2)).is_lvalue());
+    }
+
+    #[test]
+    fn assign_op_binop_mapping() {
+        assert_eq!(AssignOp::Assign.binop(), None);
+        assert_eq!(AssignOp::Add.binop(), Some(BinOp::Add));
+        assert_eq!(AssignOp::Rem.binop(), Some(BinOp::Rem));
+    }
+
+    #[test]
+    fn type_display() {
+        let t = Type::Ptr { space: Space::Global, elem: Scalar::Float };
+        assert_eq!(t.to_string(), "__global float*");
+        assert_eq!(Type::INT.to_string(), "int");
+    }
+}

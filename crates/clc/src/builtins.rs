@@ -1,0 +1,142 @@
+//! OpenCL 1.2 builtin functions supported by the subset.
+//!
+//! Dopia's rewrites (Section 6 of the paper) lean on the work-item query
+//! functions and on *local* atomics — the paper explicitly restricts itself
+//! to OpenCL 1.2 local atomics because integrated parts (notably Intel's) do
+//! not support CPU/GPU-coherent global atomics.
+
+use crate::ast::{Scalar, Type};
+
+/// Categories of builtin, used by sema and by the simulator's interpreter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuiltinKind {
+    /// `get_global_id` & friends: `(uint dim) -> size_t`.
+    WorkItemQuery,
+    /// `barrier(cl_mem_fence_flags)`.
+    Barrier,
+    /// Atomic read-modify-write on `__local`/`__global` int pointers.
+    Atomic,
+    /// Scalar math (sqrt, fabs, ...).
+    Math,
+    /// min/max/abs-style integer & float helpers.
+    Common,
+}
+
+/// Signature of a builtin function.
+#[derive(Debug, Clone)]
+pub struct Builtin {
+    pub name: &'static str,
+    pub kind: BuiltinKind,
+    /// Expected argument shapes; `None` means "any scalar" / checked ad hoc.
+    pub arity: usize,
+    /// Result type; for polymorphic math builtins this is the promoted
+    /// operand type and this field holds the default.
+    pub result: Type,
+}
+
+/// Table of all supported builtins.
+pub const BUILTINS: &[Builtin] = &[
+    // Work-item queries: argument is the dimension index.
+    Builtin { name: "get_global_id", kind: BuiltinKind::WorkItemQuery, arity: 1, result: Type::LONG },
+    Builtin { name: "get_local_id", kind: BuiltinKind::WorkItemQuery, arity: 1, result: Type::LONG },
+    Builtin { name: "get_group_id", kind: BuiltinKind::WorkItemQuery, arity: 1, result: Type::LONG },
+    Builtin { name: "get_global_size", kind: BuiltinKind::WorkItemQuery, arity: 1, result: Type::LONG },
+    Builtin { name: "get_local_size", kind: BuiltinKind::WorkItemQuery, arity: 1, result: Type::LONG },
+    Builtin { name: "get_num_groups", kind: BuiltinKind::WorkItemQuery, arity: 1, result: Type::LONG },
+    Builtin { name: "get_global_offset", kind: BuiltinKind::WorkItemQuery, arity: 1, result: Type::LONG },
+    Builtin { name: "get_work_dim", kind: BuiltinKind::WorkItemQuery, arity: 0, result: Type::UINT },
+    // Synchronization.
+    Builtin { name: "barrier", kind: BuiltinKind::Barrier, arity: 1, result: Type::Void },
+    // Atomics (OpenCL 1.2 `atomic_*` on int pointers).
+    Builtin { name: "atomic_inc", kind: BuiltinKind::Atomic, arity: 1, result: Type::INT },
+    Builtin { name: "atomic_dec", kind: BuiltinKind::Atomic, arity: 1, result: Type::INT },
+    Builtin { name: "atomic_add", kind: BuiltinKind::Atomic, arity: 2, result: Type::INT },
+    Builtin { name: "atomic_sub", kind: BuiltinKind::Atomic, arity: 2, result: Type::INT },
+    Builtin { name: "atomic_xchg", kind: BuiltinKind::Atomic, arity: 2, result: Type::INT },
+    Builtin { name: "atomic_min", kind: BuiltinKind::Atomic, arity: 2, result: Type::INT },
+    Builtin { name: "atomic_max", kind: BuiltinKind::Atomic, arity: 2, result: Type::INT },
+    Builtin { name: "atomic_cmpxchg", kind: BuiltinKind::Atomic, arity: 3, result: Type::INT },
+    // Math.
+    Builtin { name: "sqrt", kind: BuiltinKind::Math, arity: 1, result: Type::FLOAT },
+    Builtin { name: "rsqrt", kind: BuiltinKind::Math, arity: 1, result: Type::FLOAT },
+    Builtin { name: "fabs", kind: BuiltinKind::Math, arity: 1, result: Type::FLOAT },
+    Builtin { name: "exp", kind: BuiltinKind::Math, arity: 1, result: Type::FLOAT },
+    Builtin { name: "log", kind: BuiltinKind::Math, arity: 1, result: Type::FLOAT },
+    Builtin { name: "sin", kind: BuiltinKind::Math, arity: 1, result: Type::FLOAT },
+    Builtin { name: "cos", kind: BuiltinKind::Math, arity: 1, result: Type::FLOAT },
+    Builtin { name: "floor", kind: BuiltinKind::Math, arity: 1, result: Type::FLOAT },
+    Builtin { name: "ceil", kind: BuiltinKind::Math, arity: 1, result: Type::FLOAT },
+    Builtin { name: "pow", kind: BuiltinKind::Math, arity: 2, result: Type::FLOAT },
+    Builtin { name: "fmin", kind: BuiltinKind::Math, arity: 2, result: Type::FLOAT },
+    Builtin { name: "fmax", kind: BuiltinKind::Math, arity: 2, result: Type::FLOAT },
+    Builtin { name: "mad", kind: BuiltinKind::Math, arity: 3, result: Type::FLOAT },
+    Builtin { name: "fma", kind: BuiltinKind::Math, arity: 3, result: Type::FLOAT },
+    // Common integer helpers.
+    Builtin { name: "min", kind: BuiltinKind::Common, arity: 2, result: Type::INT },
+    Builtin { name: "max", kind: BuiltinKind::Common, arity: 2, result: Type::INT },
+    Builtin { name: "abs", kind: BuiltinKind::Common, arity: 1, result: Type::INT },
+];
+
+/// Look up a builtin by name.
+pub fn lookup(name: &str) -> Option<&'static Builtin> {
+    BUILTINS.iter().find(|b| b.name == name)
+}
+
+/// Identifier constants that behave as literals (memory-fence flags).
+/// Their numeric values follow the OpenCL 1.2 headers.
+pub fn named_constant(name: &str) -> Option<i64> {
+    match name {
+        "CLK_LOCAL_MEM_FENCE" => Some(1),
+        "CLK_GLOBAL_MEM_FENCE" => Some(2),
+        _ => None,
+    }
+}
+
+/// The scalar result type of a polymorphic math/common builtin applied to
+/// the given argument scalars.
+pub fn poly_result(builtin: &Builtin, args: &[Scalar]) -> Scalar {
+    match builtin.kind {
+        BuiltinKind::Math => Scalar::Float,
+        BuiltinKind::Common => args
+            .iter()
+            .copied()
+            .reduce(Scalar::promote)
+            .unwrap_or(Scalar::Int),
+        _ => builtin.result.as_scalar().unwrap_or(Scalar::Long),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_known_and_unknown() {
+        assert!(lookup("get_global_id").is_some());
+        assert!(lookup("atomic_inc").is_some());
+        assert!(lookup("no_such_fn").is_none());
+    }
+
+    #[test]
+    fn fence_flags_are_named_constants() {
+        assert_eq!(named_constant("CLK_LOCAL_MEM_FENCE"), Some(1));
+        assert_eq!(named_constant("CLK_GLOBAL_MEM_FENCE"), Some(2));
+        assert_eq!(named_constant("NOT_A_FLAG"), None);
+    }
+
+    #[test]
+    fn common_builtins_promote() {
+        let b = lookup("max").unwrap();
+        assert_eq!(poly_result(b, &[Scalar::Int, Scalar::Float]), Scalar::Float);
+        assert_eq!(poly_result(b, &[Scalar::Int, Scalar::Long]), Scalar::Long);
+    }
+
+    #[test]
+    fn all_builtin_names_unique() {
+        let mut names: Vec<_> = BUILTINS.iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+}

@@ -1,0 +1,70 @@
+//! Diagnostics shared by all frontend stages.
+
+use crate::span::Span;
+use std::fmt;
+
+/// Convenience alias used across the frontend.
+pub type Result<T> = std::result::Result<T, CompileError>;
+
+/// Which stage produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Tokenizer.
+    Lex,
+    /// Recursive-descent parser.
+    Parse,
+    /// Semantic analysis (types, scopes, lvalues, builtins).
+    Sema,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stage::Lex => write!(f, "lex"),
+            Stage::Parse => write!(f, "parse"),
+            Stage::Sema => write!(f, "sema"),
+        }
+    }
+}
+
+/// A compile-time diagnostic with the stage that raised it, a message, and
+/// the source span it points at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    pub stage: Stage,
+    pub message: String,
+    pub span: Span,
+}
+
+impl CompileError {
+    pub fn lex(message: impl Into<String>, span: Span) -> Self {
+        CompileError { stage: Stage::Lex, message: message.into(), span }
+    }
+
+    pub fn parse(message: impl Into<String>, span: Span) -> Self {
+        CompileError { stage: Stage::Parse, message: message.into(), span }
+    }
+
+    pub fn sema(message: impl Into<String>, span: Span) -> Self {
+        CompileError { stage: Stage::Sema, message: message.into(), span }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error at {}: {}", self.stage, self.span, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_stage_and_location() {
+        let e = CompileError::sema("unknown identifier `x`", Span::new(5, 6, 2, 9));
+        assert_eq!(e.to_string(), "sema error at 2:9: unknown identifier `x`");
+    }
+}

@@ -1,0 +1,86 @@
+//! Source positions used by diagnostics throughout the frontend.
+
+use std::fmt;
+
+/// A half-open byte range into the original source, plus the 1-based line and
+/// column of its start. Spans are carried on every token and AST node so
+/// errors in any later stage (sema, feature extraction, codegen) can point at
+/// the offending source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based source line of `start`.
+    pub line: u32,
+    /// 1-based source column of `start`.
+    pub col: u32,
+}
+
+impl Span {
+    /// A span covering `start..end` at the given line/column.
+    pub fn new(start: usize, end: usize, line: u32, col: u32) -> Self {
+        Span { start, end, line, col }
+    }
+
+    /// The smallest span containing both `self` and `other`.
+    /// Line/column information is taken from whichever starts first.
+    pub fn merge(self, other: Span) -> Span {
+        let (line, col) = if self.start <= other.start {
+            (self.line, self.col)
+        } else {
+            (other.line, other.col)
+        };
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line,
+            col,
+        }
+    }
+
+    /// A zero-width placeholder span for synthesized AST nodes (e.g. code
+    /// injected by the malleable-kernel transform).
+    pub fn synthetic() -> Span {
+        Span::default()
+    }
+
+    /// True for spans created by [`Span::synthetic`].
+    pub fn is_synthetic(&self) -> bool {
+        *self == Span::default()
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_synthetic() {
+            write!(f, "<generated>")
+        } else {
+            write!(f, "{}:{}", self.line, self.col)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_orders_by_start() {
+        let a = Span::new(0, 4, 1, 1);
+        let b = Span::new(10, 12, 2, 3);
+        let m = a.merge(b);
+        assert_eq!(m.start, 0);
+        assert_eq!(m.end, 12);
+        assert_eq!(m.line, 1);
+        let m2 = b.merge(a);
+        assert_eq!(m2, m);
+    }
+
+    #[test]
+    fn synthetic_display() {
+        assert_eq!(Span::synthetic().to_string(), "<generated>");
+        assert_eq!(Span::new(0, 1, 3, 7).to_string(), "3:7");
+    }
+}

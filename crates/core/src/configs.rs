@@ -1,0 +1,141 @@
+//! The degree-of-parallelism configuration space (paper Table 3).
+//!
+//! Five CPU levels (0, 25, 50, 75, 100 % of cores) x nine GPU levels
+//! (eighths from 0 to 8/8), minus the all-off point: 5 x 9 − 1 = 44
+//! configurations on both evaluation platforms.
+
+use sim::engine::DopConfig;
+use sim::PlatformConfig;
+
+/// One point of the DoP space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DopPoint {
+    /// Active CPU cores.
+    pub cpu_cores: usize,
+    /// Active GPU PEs as eighths (0..=8).
+    pub gpu_eighths: usize,
+    /// Normalized CPU utilization in `[0, 1]` (model feature `CPU_util`).
+    pub cpu_util: f64,
+    /// Normalized GPU utilization in `[0, 1]` (model feature `GPU_util`).
+    pub gpu_util: f64,
+}
+
+impl DopPoint {
+    /// The simulator configuration for this point.
+    pub fn dop(&self) -> DopConfig {
+        DopConfig { cpu_cores: self.cpu_cores, gpu_frac: self.gpu_eighths as f64 / 8.0 }
+    }
+
+    /// The `(dop_gpu_mod, dop_gpu_alloc)` kernel arguments (paper Fig. 5);
+    /// `None` when the GPU is off.
+    pub fn gpu_dop_args(&self) -> Option<(i64, i64)> {
+        if self.gpu_eighths == 0 {
+            None
+        } else {
+            Some(crate::codegen::malleable::dop_pair_for_eighths(self.gpu_eighths))
+        }
+    }
+
+    /// Euclidean distance to another point in normalized (cpu, gpu) space,
+    /// the paper's Fig. 11(a) error metric. Divided by the longest possible
+    /// distance `sqrt(2)`.
+    pub fn normalized_distance(&self, other: &DopPoint) -> f64 {
+        let dc = self.cpu_util - other.cpu_util;
+        let dg = self.gpu_util - other.gpu_util;
+        (dc * dc + dg * dg).sqrt() / 2.0f64.sqrt()
+    }
+}
+
+/// Enumerate the 44-point space for a platform, CPU-major, in a stable
+/// order: `(cpu 0, gpu 1/8), (cpu 0, gpu 2/8), ..., (cpu max, gpu 8/8)`.
+pub fn config_space(platform: &PlatformConfig) -> Vec<DopPoint> {
+    let max_cores = platform.cpu.cores;
+    let cpu_levels: Vec<usize> = (0..=4).map(|l| max_cores * l / 4).collect();
+    let mut points = Vec::with_capacity(44);
+    for &cpu in &cpu_levels {
+        for gpu in 0..=8usize {
+            if cpu == 0 && gpu == 0 {
+                continue;
+            }
+            points.push(DopPoint {
+                cpu_cores: cpu,
+                gpu_eighths: gpu,
+                cpu_util: cpu as f64 / max_cores as f64,
+                gpu_util: gpu as f64 / 8.0,
+            });
+        }
+    }
+    points
+}
+
+/// The index of the configuration matching (cpu_cores, gpu_eighths), if it
+/// is in the space.
+pub fn find_config(space: &[DopPoint], cpu_cores: usize, gpu_eighths: usize) -> Option<usize> {
+    space
+        .iter()
+        .position(|p| p.cpu_cores == cpu_cores && p.gpu_eighths == gpu_eighths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kaveri_space_matches_table3() {
+        let space = config_space(&PlatformConfig::kaveri());
+        assert_eq!(space.len(), 44);
+        let cpus: Vec<usize> = {
+            let mut v: Vec<usize> = space.iter().map(|p| p.cpu_cores).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        assert_eq!(cpus, vec![0, 1, 2, 3, 4]);
+        assert!(space.iter().all(|p| p.gpu_eighths <= 8));
+        assert!(!space.iter().any(|p| p.cpu_cores == 0 && p.gpu_eighths == 0));
+    }
+
+    #[test]
+    fn skylake_space_uses_even_cores() {
+        let space = config_space(&PlatformConfig::skylake());
+        assert_eq!(space.len(), 44);
+        let cpus: Vec<usize> = {
+            let mut v: Vec<usize> = space.iter().map(|p| p.cpu_cores).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        assert_eq!(cpus, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn distance_metric_is_normalized() {
+        let space = config_space(&PlatformConfig::kaveri());
+        let all_off = DopPoint { cpu_cores: 0, gpu_eighths: 0, cpu_util: 0.0, gpu_util: 0.0 };
+        let all_on = space
+            .iter()
+            .find(|p| p.cpu_util == 1.0 && p.gpu_util == 1.0)
+            .unwrap();
+        assert!((all_on.normalized_distance(&all_off) - 1.0).abs() < 1e-12);
+        assert_eq!(all_on.normalized_distance(all_on), 0.0);
+    }
+
+    #[test]
+    fn gpu_dop_args_match_paper_mapping() {
+        let space = config_space(&PlatformConfig::kaveri());
+        let p = space.iter().find(|p| p.gpu_eighths == 3).unwrap();
+        assert_eq!(p.gpu_dop_args(), Some((8, 3)));
+        let off = space.iter().find(|p| p.gpu_eighths == 0).unwrap();
+        assert_eq!(off.gpu_dop_args(), None);
+    }
+
+    #[test]
+    fn find_config_locates_points() {
+        let space = config_space(&PlatformConfig::kaveri());
+        let i = find_config(&space, 4, 3).unwrap();
+        assert_eq!(space[i].cpu_cores, 4);
+        assert_eq!(space[i].gpu_eighths, 3);
+        assert!(find_config(&space, 0, 0).is_none());
+        assert!(find_config(&space, 7, 1).is_none());
+    }
+}

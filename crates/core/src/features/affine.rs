@@ -1,0 +1,233 @@
+//! Symbolic affine analysis of index expressions.
+//!
+//! An index expression is reduced to an affine form over *iteration
+//! symbols* — loop induction variables and work-item ids — with
+//! coefficients that are either exact integer literals or opaque
+//! loop-invariant symbols (kernel parameters such as a matrix width `N`):
+//!
+//! ```text
+//! idx = z*(NY*NX) + y*NX + x   →   { z: Sym, y: Sym, x: Lit(1) }
+//! ```
+//!
+//! Classification (paper Section 5.1) then only needs the coefficient of
+//! the fastest-varying symbol present: 0 symbols → constant, coefficient
+//! literally 1 → continuous, any other defined coefficient → stride, and a
+//! non-affine component (a loaded value, a product of two symbols, an
+//! unanalyzable call) → random.
+
+use std::collections::BTreeMap;
+
+/// A coefficient: an exact integer or an opaque loop-invariant symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Coef {
+    Lit(i64),
+    /// Some unknown loop-invariant value (parameter products etc.).
+    Sym,
+}
+
+impl Coef {
+    fn add(self, other: Coef) -> Coef {
+        match (self, other) {
+            (Coef::Lit(a), Coef::Lit(b)) => Coef::Lit(a + b),
+            _ => Coef::Sym,
+        }
+    }
+
+    fn mul(self, other: Coef) -> Coef {
+        match (self, other) {
+            (Coef::Lit(a), Coef::Lit(b)) => Coef::Lit(a * b),
+            // Multiplying by a literal zero annihilates even symbols.
+            (Coef::Lit(0), _) | (_, Coef::Lit(0)) => Coef::Lit(0),
+            _ => Coef::Sym,
+        }
+    }
+
+    fn neg(self) -> Coef {
+        match self {
+            Coef::Lit(a) => Coef::Lit(-a),
+            Coef::Sym => Coef::Sym,
+        }
+    }
+
+    pub fn is_zero(&self) -> bool {
+        matches!(self, Coef::Lit(0))
+    }
+}
+
+/// An affine form over iteration symbols. The constant part is not
+/// tracked precisely (classification never needs it), only whether the
+/// expression carries a non-affine component.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Affine {
+    /// Iteration-symbol name → coefficient. Zero coefficients are removed.
+    pub terms: BTreeMap<String, Coef>,
+    /// True if the expression contains a memory load, a product of two
+    /// iteration symbols, or any construct outside the affine fragment.
+    pub nonaffine: bool,
+}
+
+impl Affine {
+    /// A constant (no iteration symbols).
+    pub fn constant() -> Affine {
+        Affine::default()
+    }
+
+    /// The iteration symbol `name` with coefficient 1.
+    pub fn symbol(name: impl Into<String>) -> Affine {
+        let mut terms = BTreeMap::new();
+        terms.insert(name.into(), Coef::Lit(1));
+        Affine { terms, nonaffine: false }
+    }
+
+    /// A non-affine (unanalyzable) value.
+    pub fn opaque() -> Affine {
+        Affine { terms: BTreeMap::new(), nonaffine: true }
+    }
+
+    /// True if no iteration symbols appear (and the value is affine).
+    pub fn is_constant(&self) -> bool {
+        !self.nonaffine && self.terms.is_empty()
+    }
+
+    fn normalized(mut self) -> Affine {
+        self.terms.retain(|_, c| !c.is_zero());
+        self
+    }
+
+    pub fn add(&self, other: &Affine) -> Affine {
+        let mut terms = self.terms.clone();
+        for (k, &c) in &other.terms {
+            let entry = terms.entry(k.clone()).or_insert(Coef::Lit(0));
+            *entry = entry.add(c);
+        }
+        Affine { terms, nonaffine: self.nonaffine || other.nonaffine }.normalized()
+    }
+
+    pub fn neg(&self) -> Affine {
+        Affine {
+            terms: self.terms.iter().map(|(k, c)| (k.clone(), c.neg())).collect(),
+            nonaffine: self.nonaffine,
+        }
+    }
+
+    pub fn sub(&self, other: &Affine) -> Affine {
+        self.add(&other.neg())
+    }
+
+    /// Multiplication. Exact when at most one side carries symbols and the
+    /// other is a constant; a product of two symbolic forms is non-affine.
+    /// The constant multiplier's value is unknown in general, so scaled
+    /// coefficients become [`Coef::Sym`] unless the literal multiplier is
+    /// recoverable via `lit`.
+    pub fn mul(&self, other: &Affine, self_lit: Option<i64>, other_lit: Option<i64>) -> Affine {
+        if self.nonaffine || other.nonaffine {
+            return Affine::opaque();
+        }
+        match (self.terms.is_empty(), other.terms.is_empty()) {
+            (true, true) => Affine::constant(),
+            (false, false) => Affine::opaque(), // symbol x symbol
+            (false, true) => self.scale(other_lit),
+            (true, false) => other.scale(self_lit),
+        }
+    }
+
+    /// Scale all coefficients by a constant whose literal value may or may
+    /// not be known.
+    fn scale(&self, lit: Option<i64>) -> Affine {
+        let factor = match lit {
+            Some(v) => Coef::Lit(v),
+            None => Coef::Sym,
+        };
+        Affine {
+            terms: self
+                .terms
+                .iter()
+                .map(|(k, c)| (k.clone(), c.mul(factor)))
+                .collect(),
+            nonaffine: false,
+        }
+        .normalized()
+    }
+
+    /// Division / remainder / shift by a constant: symbols survive but
+    /// their coefficients become unknown (still a recognizable stride
+    /// pattern, no longer unit). By a symbolic or non-constant divisor:
+    /// opaque.
+    pub fn coarsen(&self, divisor_is_constant: bool) -> Affine {
+        if self.nonaffine || !divisor_is_constant {
+            return Affine::opaque();
+        }
+        Affine {
+            terms: self.terms.keys().map(|k| (k.clone(), Coef::Sym)).collect(),
+            nonaffine: false,
+        }
+    }
+
+    /// The coefficient of `symbol`, if present.
+    pub fn coef(&self, symbol: &str) -> Option<Coef> {
+        self.terms.get(symbol).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_combination() {
+        // z*Sym + y*Sym + x  (the paper's idx expression)
+        let z = Affine::symbol("z").scale(None);
+        let y = Affine::symbol("y").scale(None);
+        let x = Affine::symbol("x");
+        let idx = z.add(&y).add(&x);
+        assert_eq!(idx.coef("x"), Some(Coef::Lit(1)));
+        assert_eq!(idx.coef("z"), Some(Coef::Sym));
+        assert!(!idx.nonaffine);
+        assert!(!idx.is_constant());
+    }
+
+    #[test]
+    fn literal_scaling_stays_exact() {
+        let i = Affine::symbol("i");
+        let scaled = i.mul(&Affine::constant(), None, Some(8));
+        assert_eq!(scaled.coef("i"), Some(Coef::Lit(8)));
+    }
+
+    #[test]
+    fn symbol_times_symbol_is_opaque() {
+        let i = Affine::symbol("i");
+        let j = Affine::symbol("j");
+        assert!(i.mul(&j, None, None).nonaffine);
+    }
+
+    #[test]
+    fn subtraction_cancels() {
+        let i = Affine::symbol("i");
+        let diff = i.sub(&Affine::symbol("i"));
+        assert!(diff.is_constant());
+    }
+
+    #[test]
+    fn zero_literal_annihilates_symbols() {
+        let i = Affine::symbol("i");
+        let zeroed = i.mul(&Affine::constant(), None, Some(0));
+        assert!(zeroed.is_constant());
+    }
+
+    #[test]
+    fn opaque_propagates() {
+        let bad = Affine::opaque();
+        let i = Affine::symbol("i");
+        assert!(bad.add(&i).nonaffine);
+        assert!(i.mul(&bad, None, None).nonaffine);
+    }
+
+    #[test]
+    fn coarsen_keeps_symbols_with_unknown_coefficients() {
+        let mut idx = Affine::symbol("i");
+        idx = idx.mul(&Affine::constant(), None, Some(4));
+        let halved = idx.coarsen(true);
+        assert_eq!(halved.coef("i"), Some(Coef::Sym));
+        assert!(halved.coarsen(false).nonaffine);
+    }
+}

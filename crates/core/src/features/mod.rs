@@ -1,0 +1,83 @@
+//! Static code analysis and feature extraction (paper Section 5.1).
+//!
+//! Dopia's analyzer — the stand-in for the Eigen Compiler Suite backend —
+//! walks the kernel AST and classifies every memory operation by the affine
+//! form of its index expression relative to the fastest-varying iteration
+//! variable, producing the Table 1 feature vector.
+
+mod affine;
+mod extract;
+
+pub use affine::{Affine, Coef};
+pub use extract::{extract_code_features, CodeFeatures};
+
+/// The complete 11-feature model input of paper Table 1: six code features
+/// from static analysis, three launch features known only at enqueue time,
+/// and the two configuration features the model is swept over.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeatureVector {
+    pub code: CodeFeatures,
+    pub work_dim: usize,
+    pub global_size: usize,
+    pub local_size: usize,
+    /// Normalized active CPU cores in `[0, 1]`.
+    pub cpu_util: f64,
+    /// Normalized active GPU PEs in `[0, 1]`.
+    pub gpu_util: f64,
+}
+
+impl FeatureVector {
+    /// Flatten into the model's input row. The order is fixed and matches
+    /// Table 1 top to bottom. Sizes are log2-scaled: they span orders of
+    /// magnitude and tree splits / linear terms both behave better on a
+    /// log axis.
+    pub fn to_row(&self) -> Vec<f64> {
+        vec![
+            self.code.mem_constant as f64,
+            self.code.mem_continuous as f64,
+            self.code.mem_stride as f64,
+            self.code.mem_random as f64,
+            self.code.arith_int as f64,
+            self.code.arith_float as f64,
+            self.work_dim as f64,
+            (self.global_size.max(1) as f64).log2(),
+            (self.local_size.max(1) as f64).log2(),
+            self.cpu_util,
+            self.gpu_util,
+        ]
+    }
+
+    /// Number of model features (Table 1 rows).
+    pub const DIM: usize = 11;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_has_eleven_features_in_table_order() {
+        let fv = FeatureVector {
+            code: CodeFeatures {
+                mem_constant: 1,
+                mem_continuous: 2,
+                mem_stride: 3,
+                mem_random: 4,
+                arith_int: 5,
+                arith_float: 6,
+            },
+            work_dim: 2,
+            global_size: 1024,
+            local_size: 64,
+            cpu_util: 0.5,
+            gpu_util: 0.25,
+        };
+        let row = fv.to_row();
+        assert_eq!(row.len(), FeatureVector::DIM);
+        assert_eq!(&row[..7], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 2.0]);
+        assert_eq!(row[7], 10.0); // log2(1024)
+        assert_eq!(row[8], 6.0); // log2(64)
+        assert_eq!(row[9], 0.5);
+        assert_eq!(row[10], 0.25);
+    }
+}

@@ -1,0 +1,89 @@
+//! The exhaustive-search oracle (paper Section 8.3, "Exhaustive").
+//!
+//! A perfect, zero-overhead oracle that always picks the configuration with
+//! the minimal runtime out of all 44. In the paper it is found by actually
+//! running every configuration; here the per-config times are already part
+//! of each [`crate::training::WorkloadRecord`].
+
+use crate::configs::DopPoint;
+use crate::training::WorkloadRecord;
+
+/// The oracle's pick for a measured workload.
+#[derive(Debug, Clone, Copy)]
+pub struct OracleChoice {
+    pub index: usize,
+    pub point: DopPoint,
+    pub time_s: f64,
+}
+
+/// Resolve the oracle choice from a record.
+pub fn oracle_choice(record: &WorkloadRecord, space: &[DopPoint]) -> OracleChoice {
+    let index = record.best_index;
+    OracleChoice { index, point: space[index], time_s: record.times[index] }
+}
+
+/// Normalized performance of an arbitrary configuration versus the oracle
+/// (`oracle_time / config_time`, in `(0, 1]`).
+pub fn normalized_vs_oracle(record: &WorkloadRecord, index: usize) -> f64 {
+    record.normalized_perf(index)
+}
+
+/// Normalized performance of an arbitrary *time* (e.g. Dopia's end-to-end
+/// time including model overhead) versus the oracle.
+pub fn time_vs_oracle(record: &WorkloadRecord, time_s: f64) -> f64 {
+    record.times[record.best_index] / time_s
+}
+
+/// The paper's Fig. 11(a) metric: normalized Euclidean distance between a
+/// chosen configuration and the oracle's, in (cpu_util, gpu_util) space.
+pub fn euclidean_error(record: &WorkloadRecord, space: &[DopPoint], chosen: usize) -> f64 {
+    space[chosen].normalized_distance(&space[record.best_index])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs::config_space;
+    use crate::features::CodeFeatures;
+    use sim::PlatformConfig;
+
+    fn record_with_best(best: usize, n: usize) -> WorkloadRecord {
+        let times: Vec<f64> = (0..n).map(|i| if i == best { 1.0 } else { 2.0 + i as f64 }).collect();
+        WorkloadRecord {
+            name: "t".into(),
+            code: CodeFeatures::default(),
+            work_dim: 1,
+            global_size: 1024,
+            local_size: 64,
+            times,
+            best_index: best,
+        }
+    }
+
+    #[test]
+    fn oracle_finds_minimum() {
+        let space = config_space(&PlatformConfig::kaveri());
+        let r = record_with_best(7, space.len());
+        let c = oracle_choice(&r, &space);
+        assert_eq!(c.index, 7);
+        assert_eq!(c.time_s, 1.0);
+        assert_eq!(normalized_vs_oracle(&r, 7), 1.0);
+        assert!(normalized_vs_oracle(&r, 8) < 1.0);
+    }
+
+    #[test]
+    fn time_vs_oracle_penalizes_overhead() {
+        let space = config_space(&PlatformConfig::kaveri());
+        let r = record_with_best(0, space.len());
+        // Same config but with 25% overhead on top.
+        assert!((time_vs_oracle(&r, 1.25) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn euclidean_error_zero_for_exact_pick() {
+        let space = config_space(&PlatformConfig::kaveri());
+        let r = record_with_best(10, space.len());
+        assert_eq!(euclidean_error(&r, &space, 10), 0.0);
+        assert!(euclidean_error(&r, &space, 0) > 0.0);
+    }
+}

@@ -1,0 +1,349 @@
+//! The Dopia runtime (paper Section 4, Fig. 4, and Algorithm 1).
+//!
+//! [`Dopia`] mirrors the OpenCL entry points the paper interposes on:
+//!
+//! * [`Dopia::create_program_with_source`] — compile-time path: parse and
+//!   check the kernels, extract the Table 1 code features, generate the
+//!   malleable GPU variants (Figs. 5/6) and the CPU code (Fig. 7).
+//! * [`Dopia::enqueue_nd_range_kernel`] — run-time path: combine static and
+//!   launch features, sweep the ML model over the 44 DoP configurations,
+//!   then co-execute with the dynamic CPU-pull / GPU-push distributor
+//!   (Algorithm 1; realized by the simulator's DES).
+//!
+//! Model-inference wall time is measured for real and added to the
+//! simulated kernel time, matching the paper's accounting ("all runtime
+//! overhead … is included").
+
+use crate::codegen::{generate_cpu_source, malleable::transform_malleable};
+use crate::configs::{config_space, DopPoint};
+use crate::features::{extract_code_features, CodeFeatures};
+use crate::model::{PerfModel, Selection};
+use sim::{ArgValue, Engine, KernelProfile, Memory, NdRange, Schedule, SimReport};
+use std::fmt;
+
+/// Errors surfaced by the runtime.
+#[derive(Debug)]
+pub enum DopiaError {
+    Compile(clc::CompileError),
+    Transform(crate::codegen::malleable::TransformError),
+    Exec(sim::interp::ExecError),
+    UnknownKernel(String),
+    InvalidLaunch(String),
+}
+
+impl fmt::Display for DopiaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DopiaError::Compile(e) => write!(f, "compile error: {}", e),
+            DopiaError::Transform(e) => write!(f, "{}", e),
+            DopiaError::Exec(e) => write!(f, "{}", e),
+            DopiaError::UnknownKernel(n) => write!(f, "unknown kernel `{}`", n),
+            DopiaError::InvalidLaunch(m) => write!(f, "invalid launch: {}", m),
+        }
+    }
+}
+
+impl std::error::Error for DopiaError {}
+
+impl From<clc::CompileError> for DopiaError {
+    fn from(e: clc::CompileError) -> Self {
+        DopiaError::Compile(e)
+    }
+}
+
+impl From<sim::interp::ExecError> for DopiaError {
+    fn from(e: sim::interp::ExecError) -> Self {
+        DopiaError::Exec(e)
+    }
+}
+
+/// A kernel after Dopia's compile-time analysis and rewriting.
+#[derive(Debug, Clone)]
+pub struct PreparedKernel {
+    /// The unmodified kernel.
+    pub original: clc::Kernel,
+    /// Static code features (Table 1, top six rows).
+    pub features: CodeFeatures,
+    /// Malleable GPU variant for 1-D launches (Fig. 5).
+    pub malleable_1d: clc::Kernel,
+    /// Malleable GPU variant for 2-D launches (Fig. 6).
+    pub malleable_2d: clc::Kernel,
+    /// Generated CPU code (Fig. 7), 1-D and 2-D.
+    pub cpu_source_1d: String,
+    pub cpu_source_2d: String,
+}
+
+impl PreparedKernel {
+    /// The malleable variant for a launch dimensionality.
+    pub fn malleable(&self, work_dim: usize) -> &clc::Kernel {
+        if work_dim == 1 {
+            &self.malleable_1d
+        } else {
+            &self.malleable_2d
+        }
+    }
+}
+
+/// A compiled program: all kernels analyzed and rewritten.
+#[derive(Debug, Clone)]
+pub struct Program {
+    pub source: String,
+    pub kernels: Vec<PreparedKernel>,
+}
+
+impl Program {
+    pub fn kernel(&self, name: &str) -> Option<&PreparedKernel> {
+        self.kernels.iter().find(|k| k.original.name == name)
+    }
+}
+
+/// The result of one managed launch.
+#[derive(Debug, Clone, Copy)]
+pub struct LaunchResult {
+    /// DoP selection the model made, incl. measured inference wall time.
+    pub selection: Selection,
+    /// Simulated co-execution report at the chosen configuration.
+    pub report: SimReport,
+    /// Simulated kernel time without overhead (== `report.time_s`).
+    pub kernel_time_s: f64,
+    /// End-to-end time: kernel time plus model-inference overhead — the
+    /// number the paper's evaluation charges to Dopia.
+    pub total_time_s: f64,
+}
+
+/// The Dopia runtime for one platform + one trained model.
+#[derive(Debug)]
+pub struct Dopia {
+    engine: Engine,
+    model: PerfModel,
+    space: Vec<DopPoint>,
+    /// GPU chunk divisor of Algorithm 1 (the paper uses 10).
+    pub chunk_divisor: usize,
+}
+
+impl Dopia {
+    pub fn new(engine: Engine, model: PerfModel) -> Self {
+        let space = config_space(&engine.platform);
+        Dopia { engine, model, space, chunk_divisor: 10 }
+    }
+
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    pub fn model(&self) -> &PerfModel {
+        &self.model
+    }
+
+    pub fn space(&self) -> &[DopPoint] {
+        &self.space
+    }
+
+    /// Compile-time path: analyze and rewrite every kernel in `source`.
+    pub fn create_program_with_source(&self, source: &str) -> Result<Program, DopiaError> {
+        self.create_program_with_options(source, &[])
+    }
+
+    /// Like [`Dopia::create_program_with_source`] but with `-D name=value`
+    /// build options (the `clBuildProgram` options string equivalent);
+    /// sources may use `#define`/`#ifdef`.
+    pub fn create_program_with_options(
+        &self,
+        source: &str,
+        defines: &[(String, String)],
+    ) -> Result<Program, DopiaError> {
+        let program = clc::compile_with_defines(source, defines)?;
+        let mut kernels = Vec::with_capacity(program.kernels.len());
+        for kernel in program.kernels {
+            let features = extract_code_features(&kernel);
+            let malleable_1d =
+                transform_malleable(&kernel, 1).map_err(DopiaError::Transform)?;
+            let malleable_2d =
+                transform_malleable(&kernel, 2).map_err(DopiaError::Transform)?;
+            let cpu_source_1d = generate_cpu_source(&kernel, 1);
+            let cpu_source_2d = generate_cpu_source(&kernel, 2);
+            kernels.push(PreparedKernel {
+                original: kernel,
+                features,
+                malleable_1d,
+                malleable_2d,
+                cpu_source_1d,
+                cpu_source_2d,
+            });
+        }
+        Ok(Program { source: source.to_string(), kernels })
+    }
+
+    /// Run-time path: select the DoP and co-execute.
+    pub fn enqueue_nd_range_kernel(
+        &self,
+        program: &Program,
+        kernel_name: &str,
+        args: &[ArgValue],
+        nd: NdRange,
+        mem: &mut Memory,
+    ) -> Result<LaunchResult, DopiaError> {
+        let prepared = program
+            .kernel(kernel_name)
+            .ok_or_else(|| DopiaError::UnknownKernel(kernel_name.to_string()))?;
+        nd.validate().map_err(DopiaError::InvalidLaunch)?;
+        let profile = self.profile(prepared, args, nd, mem)?;
+        Ok(self.launch_with_profile(prepared, &profile, nd))
+    }
+
+    /// Characterize a launch (separated so sweeps can reuse the profile).
+    pub fn profile(
+        &self,
+        prepared: &PreparedKernel,
+        args: &[ArgValue],
+        nd: NdRange,
+        mem: &mut Memory,
+    ) -> Result<KernelProfile, DopiaError> {
+        let spec = sim::engine::LaunchSpec { kernel: &prepared.original, args, nd };
+        Ok(self.engine.profile(spec, mem)?)
+    }
+
+    /// Model selection + simulated co-execution for an already-profiled
+    /// launch.
+    pub fn launch_with_profile(
+        &self,
+        prepared: &PreparedKernel,
+        profile: &KernelProfile,
+        nd: NdRange,
+    ) -> LaunchResult {
+        let selection = self.model.select_config(
+            prepared.features,
+            nd.work_dim,
+            nd.global_size(),
+            nd.local_size(),
+            &self.space,
+        );
+        let report = self.engine.simulate(
+            profile,
+            &nd,
+            selection.point.dop(),
+            Schedule::Dynamic { chunk_divisor: self.chunk_divisor },
+            true, // Dopia always runs the malleable GPU kernel
+        );
+        LaunchResult {
+            selection,
+            report,
+            kernel_time_s: report.time_s,
+            total_time_s: report.time_s + selection.inference_s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ml::ModelKind;
+
+    /// Training dominates these tests; share one runtime across the module.
+    fn trained_dopia() -> &'static Dopia {
+        static DOPIA: std::sync::OnceLock<Dopia> = std::sync::OnceLock::new();
+        DOPIA.get_or_init(|| {
+            let engine = Engine::kaveri();
+            let (data, _) = crate::training::tiny_training_set(&engine);
+            let model = PerfModel::train(ModelKind::Dt, &data, 42);
+            Dopia::new(engine, model)
+        })
+    }
+
+    #[test]
+    fn end_to_end_launch() {
+        let dopia = trained_dopia();
+        let program = dopia
+            .create_program_with_source(workloads::polybench::GESUMMV_SRC)
+            .unwrap();
+        let prepared = program.kernel("gesummv").unwrap();
+        assert!(prepared.features.mem_continuous >= 4);
+        assert!(prepared.cpu_source_1d.contains("gesummv_CPU"));
+
+        let mut mem = Memory::new();
+        let built = workloads::polybench::gesummv(&mut mem, 4096, 256);
+        let result = dopia
+            .enqueue_nd_range_kernel(&program, "gesummv", &built.args, built.nd, &mut mem)
+            .unwrap();
+        assert!(result.total_time_s > result.kernel_time_s);
+        assert_eq!(
+            result.report.cpu_groups + result.report.gpu_groups,
+            built.nd.num_groups()
+        );
+        // The chosen config must be in the space.
+        assert!(result.selection.index < dopia.space().len());
+    }
+
+    #[test]
+    fn unknown_kernel_is_an_error() {
+        let dopia = trained_dopia();
+        let program = dopia
+            .create_program_with_source("__kernel void a() { }")
+            .unwrap();
+        let mut mem = Memory::new();
+        let err = dopia
+            .enqueue_nd_range_kernel(&program, "nope", &[], NdRange::d1(64, 64), &mut mem)
+            .unwrap_err();
+        assert!(matches!(err, DopiaError::UnknownKernel(_)));
+    }
+
+    #[test]
+    fn invalid_ndrange_is_an_error() {
+        let dopia = trained_dopia();
+        let program = dopia
+            .create_program_with_source("__kernel void a(int x) { x = 0; }")
+            .unwrap();
+        let mut mem = Memory::new();
+        let err = dopia
+            .enqueue_nd_range_kernel(
+                &program,
+                "a",
+                &[ArgValue::Int(0)],
+                NdRange::d1(100, 64),
+                &mut mem,
+            )
+            .unwrap_err();
+        assert!(matches!(err, DopiaError::InvalidLaunch(_)));
+    }
+
+    #[test]
+    fn build_options_reach_the_preprocessor() {
+        let dopia = trained_dopia();
+        let program = dopia
+            .create_program_with_options(
+                "#ifdef FAST\n__kernel void f(__global float* a) { a[get_global_id(0)] = SCALE; }\n#endif",
+                &[("FAST".into(), String::new()), ("SCALE".into(), "2.5f".into())],
+            )
+            .unwrap();
+        assert_eq!(program.kernels.len(), 1);
+        // Without the define the kernel disappears entirely.
+        let empty = dopia
+            .create_program_with_options(
+                "#ifdef FAST\n__kernel void f(__global float* a) { a[0] = 1.0f; }\n#endif",
+                &[],
+            )
+            .unwrap();
+        assert!(empty.kernels.is_empty());
+    }
+
+    #[test]
+    fn compile_errors_propagate() {
+        let dopia = trained_dopia();
+        let err = dopia.create_program_with_source("__kernel void x(").unwrap_err();
+        assert!(matches!(err, DopiaError::Compile(_)));
+    }
+
+    #[test]
+    fn program_holds_both_malleable_variants() {
+        let dopia = trained_dopia();
+        let program = dopia
+            .create_program_with_source(workloads::polybench::CONV2D_SRC)
+            .unwrap();
+        let k = program.kernel("conv2d").unwrap();
+        let src1 = clc::printer::print_kernel(&k.malleable_1d);
+        let src2 = clc::printer::print_kernel(&k.malleable_2d);
+        assert!(src1.contains("dop_gpu_mod"));
+        assert!(src2.contains("get_local_size(0) * get_local_size(1)"));
+        assert_eq!(k.malleable(2).name, "conv2d");
+    }
+}

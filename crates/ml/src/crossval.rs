@@ -1,0 +1,133 @@
+//! K-fold cross-validation, the paper's protocol for comparing model
+//! families (64-fold in Section 9.2).
+
+use crate::dataset::Dataset;
+use crate::metrics::{mae, mse, r2, timed};
+use crate::{train, ModelKind};
+
+/// Aggregated cross-validation outcome.
+#[derive(Debug, Clone)]
+pub struct CrossValReport {
+    pub kind: ModelKind,
+    pub folds: usize,
+    /// Mean per-fold MSE on the held-out fold.
+    pub mse: f64,
+    pub mae: f64,
+    pub r2: f64,
+    /// Mean training wall time per fold (seconds).
+    pub train_time_s: f64,
+    /// Mean inference wall time per prediction (seconds).
+    pub predict_time_s: f64,
+    /// All held-out predictions, in fold order (for downstream analyses
+    /// such as the paper's Euclidean-distance error).
+    pub predictions: Vec<f64>,
+    /// Matching held-out ground truth.
+    pub truths: Vec<f64>,
+    /// Original dataset row index of each held-out prediction.
+    pub indices: Vec<usize>,
+}
+
+/// Run K-fold cross-validation of one model family.
+///
+/// Folds are split after a seeded shuffle, so the comparison across model
+/// kinds is paired: every kind sees identical folds for identical seeds.
+pub fn cross_validate(kind: ModelKind, data: &Dataset, k: usize, seed: u64) -> CrossValReport {
+    assert!(k >= 2 && data.len() >= k, "invalid fold count {} for {} rows", k, data.len());
+    let idx = data.shuffled_indices(seed);
+    let mut predictions = Vec::with_capacity(data.len());
+    let mut truths = Vec::with_capacity(data.len());
+    let mut indices = Vec::with_capacity(data.len());
+    let mut train_time = 0.0;
+    let mut predict_time = 0.0;
+    let mut n_predictions = 0usize;
+
+    for f in 0..k {
+        let lo = data.len() * f / k;
+        let hi = data.len() * (f + 1) / k;
+        let test_idx: Vec<usize> = idx[lo..hi].to_vec();
+        let train_idx: Vec<usize> =
+            idx[..lo].iter().chain(idx[hi..].iter()).copied().collect();
+        let train_set = data.select(&train_idx);
+        let test_set = data.select(&test_idx);
+
+        let (model, t_train) = timed(|| train(kind, &train_set, seed ^ f as u64));
+        train_time += t_train;
+
+        let (preds, t_pred) = timed(|| model.predict_batch(test_set.rows()));
+        predict_time += t_pred;
+        n_predictions += preds.len();
+
+        predictions.extend(preds);
+        truths.extend(test_set.targets().iter().copied());
+        indices.extend(test_idx);
+    }
+
+    CrossValReport {
+        kind,
+        folds: k,
+        mse: mse(&predictions, &truths),
+        mae: mae(&predictions, &truths),
+        r2: r2(&predictions, &truths),
+        train_time_s: train_time / k as f64,
+        predict_time_s: predict_time / n_predictions.max(1) as f64,
+        predictions,
+        truths,
+        indices,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn dataset(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let x: f64 = rng.gen();
+            let z: f64 = rng.gen();
+            rows.push(vec![x, z]);
+            ys.push(if x > 0.4 { z } else { 1.0 - z });
+        }
+        Dataset::new(rows, ys).unwrap()
+    }
+
+    #[test]
+    fn covers_every_row_exactly_once() {
+        let d = dataset(101, 1);
+        let r = cross_validate(ModelKind::Dt, &d, 8, 3);
+        assert_eq!(r.predictions.len(), 101);
+        let mut seen = r.indices.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..101).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tree_beats_linear_on_interaction() {
+        let d = dataset(400, 2);
+        let lin = cross_validate(ModelKind::Lin, &d, 5, 7);
+        let dt = cross_validate(ModelKind::Dt, &d, 5, 7);
+        assert!(dt.mse < lin.mse, "dt {} vs lin {}", dt.mse, lin.mse);
+        assert!(dt.r2 > 0.8, "r2 = {}", dt.r2);
+    }
+
+    #[test]
+    fn paired_folds_across_kinds() {
+        let d = dataset(100, 3);
+        let a = cross_validate(ModelKind::Lin, &d, 4, 5);
+        let b = cross_validate(ModelKind::Dt, &d, 4, 5);
+        assert_eq!(a.indices, b.indices);
+        assert_eq!(a.truths, b.truths);
+    }
+
+    #[test]
+    fn timings_are_populated() {
+        let d = dataset(150, 4);
+        let r = cross_validate(ModelKind::Rf, &d, 3, 1);
+        assert!(r.train_time_s > 0.0);
+        assert!(r.predict_time_s > 0.0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Feature-matrix / target-vector containers and split utilities.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A regression dataset: `n` rows of `d` features plus `n` targets.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    rows: Vec<Vec<f64>>,
+    targets: Vec<f64>,
+}
+
+impl Dataset {
+    /// Build a dataset, validating shape consistency.
+    pub fn new(rows: Vec<Vec<f64>>, targets: Vec<f64>) -> Result<Self, String> {
+        if rows.len() != targets.len() {
+            return Err(format!("{} rows but {} targets", rows.len(), targets.len()));
+        }
+        if let Some(first) = rows.first() {
+            let d = first.len();
+            if d == 0 {
+                return Err("rows must have at least one feature".into());
+            }
+            if let Some(bad) = rows.iter().find(|r| r.len() != d) {
+                return Err(format!("inconsistent row width: {} vs {}", bad.len(), d));
+            }
+        }
+        if rows
+            .iter()
+            .flatten()
+            .chain(targets.iter())
+            .any(|v| !v.is_finite())
+        {
+            return Err("dataset contains non-finite values".into());
+        }
+        Ok(Dataset { rows, targets })
+    }
+
+    /// Empty dataset with no rows (features unknown until the first push).
+    pub fn empty() -> Self {
+        Dataset::default()
+    }
+
+    /// Append one sample.
+    pub fn push(&mut self, row: Vec<f64>, target: f64) {
+        debug_assert!(self.rows.is_empty() || self.rows[0].len() == row.len());
+        self.rows.push(row);
+        self.targets.push(target);
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of features per row (0 for an empty dataset).
+    pub fn dims(&self) -> usize {
+        self.rows.first().map(Vec::len).unwrap_or(0)
+    }
+
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+
+    pub fn targets(&self) -> &[f64] {
+        &self.targets
+    }
+
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.rows[i]
+    }
+
+    pub fn target(&self, i: usize) -> f64 {
+        self.targets[i]
+    }
+
+    /// Select a subset by row indices (indices may repeat — used by
+    /// bootstrap sampling).
+    pub fn select(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            rows: indices.iter().map(|&i| self.rows[i].clone()).collect(),
+            targets: indices.iter().map(|&i| self.targets[i]).collect(),
+        }
+    }
+
+    /// Deterministically shuffled row indices.
+    pub fn shuffled_indices(&self, seed: u64) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(&mut StdRng::seed_from_u64(seed));
+        idx
+    }
+
+    /// Split into `k` folds of near-equal size after a seeded shuffle;
+    /// returns (train, test) pairs.
+    pub fn k_folds(&self, k: usize, seed: u64) -> Vec<(Dataset, Dataset)> {
+        assert!(k >= 2, "need at least 2 folds");
+        assert!(self.len() >= k, "fewer rows than folds");
+        let idx = self.shuffled_indices(seed);
+        let mut folds = Vec::with_capacity(k);
+        for f in 0..k {
+            let lo = self.len() * f / k;
+            let hi = self.len() * (f + 1) / k;
+            let test: Vec<usize> = idx[lo..hi].to_vec();
+            let train: Vec<usize> =
+                idx[..lo].iter().chain(idx[hi..].iter()).copied().collect();
+            folds.push((self.select(&train), self.select(&test)));
+        }
+        folds
+    }
+
+    /// Per-feature (mean, std) for standardization. Zero-variance features
+    /// get std 1 so they pass through unchanged.
+    pub fn feature_stats(&self) -> Vec<(f64, f64)> {
+        let d = self.dims();
+        let n = self.len().max(1) as f64;
+        let mut stats = vec![(0.0, 0.0); d];
+        for row in &self.rows {
+            for (j, &v) in row.iter().enumerate() {
+                stats[j].0 += v;
+            }
+        }
+        for s in &mut stats {
+            s.0 /= n;
+        }
+        for row in &self.rows {
+            for (j, &v) in row.iter().enumerate() {
+                let m = stats[j].0;
+                stats[j].1 += (v - m) * (v - m);
+            }
+        }
+        for s in &mut stats {
+            s.1 = (s.1 / n).sqrt();
+            if s.1 < 1e-12 {
+                s.1 = 1.0;
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        let rows = (0..n).map(|i| vec![i as f64, (i * i) as f64]).collect();
+        let ys = (0..n).map(|i| i as f64 * 2.0).collect();
+        Dataset::new(rows, ys).unwrap()
+    }
+
+    #[test]
+    fn validates_shapes() {
+        assert!(Dataset::new(vec![vec![1.0]], vec![1.0, 2.0]).is_err());
+        assert!(Dataset::new(vec![vec![1.0], vec![1.0, 2.0]], vec![0.0, 0.0]).is_err());
+        assert!(Dataset::new(vec![vec![f64::NAN]], vec![0.0]).is_err());
+        assert!(Dataset::new(vec![], vec![]).is_ok());
+    }
+
+    #[test]
+    fn k_folds_partition_everything() {
+        let d = toy(103);
+        let folds = d.k_folds(8, 7);
+        assert_eq!(folds.len(), 8);
+        let total_test: usize = folds.iter().map(|(_, t)| t.len()).sum();
+        assert_eq!(total_test, 103);
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 103);
+        }
+    }
+
+    #[test]
+    fn k_folds_deterministic_per_seed() {
+        let d = toy(50);
+        let a = d.k_folds(5, 1);
+        let b = d.k_folds(5, 1);
+        assert_eq!(a[0].1.rows(), b[0].1.rows());
+        let c = d.k_folds(5, 2);
+        assert_ne!(a[0].1.rows(), c[0].1.rows());
+    }
+
+    #[test]
+    fn feature_stats_standardize() {
+        let d = Dataset::new(
+            vec![vec![1.0, 5.0], vec![3.0, 5.0]],
+            vec![0.0, 0.0],
+        )
+        .unwrap();
+        let stats = d.feature_stats();
+        assert_eq!(stats[0].0, 2.0);
+        assert!((stats[0].1 - 1.0).abs() < 1e-12);
+        // Zero-variance feature gets unit std.
+        assert_eq!(stats[1], (5.0, 1.0));
+    }
+
+    #[test]
+    fn select_with_repeats() {
+        let d = toy(5);
+        let s = d.select(&[0, 0, 4]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.target(0), 0.0);
+        assert_eq!(s.target(2), 8.0);
+    }
+}

@@ -1,0 +1,370 @@
+//! CART regression trees ("DT" — Dopia's default model).
+//!
+//! Splits greedily minimize the summed squared error of the two children
+//! (variance reduction). Nodes are stored in a flat arena so inference is a
+//! tight loop — important because Dopia evaluates the model for all 44 DoP
+//! configurations on every kernel launch.
+
+use crate::dataset::Dataset;
+use crate::Regressor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Hyper-parameters for tree construction.
+#[derive(Debug, Clone)]
+pub struct TreeParams {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Do not split nodes smaller than this.
+    pub min_samples_split: usize,
+    /// Each child must keep at least this many samples.
+    pub min_samples_leaf: usize,
+    /// Consider only this many randomly-chosen features per split
+    /// (`None` = all features; `Some` is used by random forests).
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams {
+            max_depth: 14,
+            min_samples_split: 8,
+            min_samples_leaf: 2,
+            max_features: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf { value: f64 },
+    Split { feature: usize, threshold: f64, left: usize, right: usize },
+}
+
+/// A fitted regression tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+}
+
+impl DecisionTree {
+    /// Fit with deterministic behaviour (feature subsampling, if requested,
+    /// is seeded).
+    pub fn fit(data: &Dataset, params: &TreeParams) -> Self {
+        Self::fit_seeded(data, params, 0)
+    }
+
+    /// Fit with an explicit seed for feature subsampling.
+    pub fn fit_seeded(data: &Dataset, params: &TreeParams, seed: u64) -> Self {
+        assert!(!data.is_empty(), "cannot fit a tree on an empty dataset");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tree = DecisionTree { nodes: Vec::new() };
+        let mut indices: Vec<usize> = (0..data.len()).collect();
+        tree.build(data, params, &mut indices, 0, &mut rng);
+        tree
+    }
+
+    /// Number of nodes (leaves + splits).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Tree depth (longest root-to-leaf path, 1 for a single leaf).
+    pub fn depth(&self) -> usize {
+        fn depth_at(nodes: &[Node], i: usize) -> usize {
+            match &nodes[i] {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => {
+                    1 + depth_at(nodes, *left).max(depth_at(nodes, *right))
+                }
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            depth_at(&self.nodes, 0)
+        }
+    }
+
+    /// Build a subtree from `indices`, returning the node index.
+    fn build(
+        &mut self,
+        data: &Dataset,
+        params: &TreeParams,
+        indices: &mut [usize],
+        depth: usize,
+        rng: &mut StdRng,
+    ) -> usize {
+        let n = indices.len();
+        let mean =
+            indices.iter().map(|&i| data.target(i)).sum::<f64>() / n as f64;
+        let sse: f64 = indices
+            .iter()
+            .map(|&i| {
+                let d = data.target(i) - mean;
+                d * d
+            })
+            .sum();
+
+        let make_leaf = |tree: &mut DecisionTree| {
+            tree.nodes.push(Node::Leaf { value: mean });
+            tree.nodes.len() - 1
+        };
+
+        if depth >= params.max_depth || n < params.min_samples_split || sse < 1e-12 {
+            return make_leaf(self);
+        }
+
+        // Candidate features.
+        let d = data.dims();
+        let mut features: Vec<usize> = (0..d).collect();
+        if let Some(k) = params.max_features {
+            features.shuffle(rng);
+            features.truncate(k.clamp(1, d));
+        }
+
+        // Best split across candidate features: maximize SSE reduction.
+        let mut best: Option<(f64, usize, f64)> = None; // (child_sse, feature, threshold)
+        let mut sorted = indices.to_vec();
+        for &f in &features {
+            sorted.sort_by(|&a, &b| {
+                data.row(a)[f].partial_cmp(&data.row(b)[f]).unwrap()
+            });
+            // Prefix sums of targets over the sorted order.
+            let mut left_sum = 0.0;
+            let mut left_sq = 0.0;
+            let total_sum: f64 = sorted.iter().map(|&i| data.target(i)).sum();
+            let total_sq: f64 =
+                sorted.iter().map(|&i| data.target(i) * data.target(i)).sum();
+            for split_at in 1..n {
+                let i = sorted[split_at - 1];
+                let y = data.target(i);
+                left_sum += y;
+                left_sq += y * y;
+                if split_at < params.min_samples_leaf
+                    || n - split_at < params.min_samples_leaf
+                {
+                    continue;
+                }
+                let prev = data.row(sorted[split_at - 1])[f];
+                let next = data.row(sorted[split_at])[f];
+                if next <= prev {
+                    continue; // no distinct threshold here
+                }
+                let nl = split_at as f64;
+                let nr = (n - split_at) as f64;
+                let right_sum = total_sum - left_sum;
+                let right_sq = total_sq - left_sq;
+                let child_sse = (left_sq - left_sum * left_sum / nl)
+                    + (right_sq - right_sum * right_sum / nr);
+                if best.is_none_or(|(b, _, _)| child_sse < b) {
+                    best = Some((child_sse, f, 0.5 * (prev + next)));
+                }
+            }
+        }
+
+        let Some((child_sse, feature, threshold)) = best else {
+            return make_leaf(self);
+        };
+        if sse - child_sse < 1e-12 {
+            return make_leaf(self);
+        }
+
+        // Partition indices in place.
+        let mut left: Vec<usize> = Vec::new();
+        let mut right: Vec<usize> = Vec::new();
+        for &i in indices.iter() {
+            if data.row(i)[feature] <= threshold {
+                left.push(i);
+            } else {
+                right.push(i);
+            }
+        }
+        debug_assert!(!left.is_empty() && !right.is_empty());
+
+        let node = self.nodes.len();
+        self.nodes.push(Node::Leaf { value: mean }); // placeholder
+        let l = self.build(data, params, &mut left, depth + 1, rng);
+        let r = self.build(data, params, &mut right, depth + 1, rng);
+        self.nodes[node] = Node::Split { feature, threshold, left: l, right: r };
+        node
+    }
+}
+
+impl DecisionTree {
+    /// Serialize to the line-oriented model format (see [`crate::io`]):
+    /// one node per line, `L <value>` or `S <feature> <threshold> <left> <right>`.
+    pub fn to_lines(&self) -> Vec<String> {
+        let mut lines = vec![format!("nodes {}", self.nodes.len())];
+        for node in &self.nodes {
+            match node {
+                Node::Leaf { value } => lines.push(format!("L {:e}", value)),
+                Node::Split { feature, threshold, left, right } => {
+                    lines.push(format!("S {} {:e} {} {}", feature, threshold, left, right))
+                }
+            }
+        }
+        lines
+    }
+
+    /// Parse the output of [`DecisionTree::to_lines`]; consumes exactly the
+    /// lines it needs from the iterator.
+    pub fn from_lines<'a>(
+        lines: &mut impl Iterator<Item = &'a str>,
+    ) -> Result<DecisionTree, String> {
+        let header = lines.next().ok_or("missing tree header")?;
+        let count: usize = header
+            .strip_prefix("nodes ")
+            .ok_or_else(|| format!("bad tree header `{}`", header))?
+            .parse()
+            .map_err(|e| format!("bad node count: {}", e))?;
+        let mut nodes = Vec::with_capacity(count);
+        for _ in 0..count {
+            let line = lines.next().ok_or("truncated tree")?;
+            let mut f = line.split_whitespace();
+            match f.next() {
+                Some("L") => {
+                    let value = f.next().ok_or("leaf missing value")?
+                        .parse().map_err(|e| format!("bad leaf: {}", e))?;
+                    nodes.push(Node::Leaf { value });
+                }
+                Some("S") => {
+                    let parse = |x: Option<&str>, what: &str| -> Result<String, String> {
+                        x.map(str::to_string).ok_or_else(|| format!("split missing {}", what))
+                    };
+                    let feature = parse(f.next(), "feature")?.parse().map_err(|e| format!("{}", e))?;
+                    let threshold = parse(f.next(), "threshold")?.parse().map_err(|e| format!("{}", e))?;
+                    let left = parse(f.next(), "left")?.parse().map_err(|e| format!("{}", e))?;
+                    let right = parse(f.next(), "right")?.parse().map_err(|e| format!("{}", e))?;
+                    nodes.push(Node::Split { feature, threshold, left, right });
+                }
+                other => return Err(format!("bad node tag {:?}", other)),
+            }
+        }
+        // Validate child indices so a corrupt file cannot cause panics at
+        // inference time.
+        for node in &nodes {
+            if let Node::Split { left, right, .. } = node {
+                if *left >= nodes.len() || *right >= nodes.len() {
+                    return Err("tree child index out of range".into());
+                }
+            }
+        }
+        if nodes.is_empty() {
+            return Err("empty tree".into());
+        }
+        Ok(DecisionTree { nodes })
+    }
+}
+
+impl Regressor for DecisionTree {
+    fn predict(&self, features: &[f64]) -> f64 {
+        let mut i = 0;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf { value } => return *value,
+                Node::Split { feature, threshold, left, right } => {
+                    i = if features[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "DT"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_dataset<F: Fn(f64, f64) -> f64>(f: F) -> Dataset {
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..40 {
+            for j in 0..40 {
+                let (x, z) = (i as f64 / 40.0, j as f64 / 40.0);
+                rows.push(vec![x, z]);
+                ys.push(f(x, z));
+            }
+        }
+        Dataset::new(rows, ys).unwrap()
+    }
+
+    #[test]
+    fn fits_piecewise_constant_exactly() {
+        let data = grid_dataset(|x, z| {
+            if x > 0.5 {
+                if z > 0.5 {
+                    3.0
+                } else {
+                    2.0
+                }
+            } else {
+                1.0
+            }
+        });
+        let t = DecisionTree::fit(&data, &TreeParams::default());
+        assert!((t.predict(&[0.9, 0.9]) - 3.0).abs() < 1e-9);
+        assert!((t.predict(&[0.9, 0.1]) - 2.0).abs() < 1e-9);
+        assert!((t.predict(&[0.1, 0.9]) - 1.0).abs() < 1e-9);
+        // Such a function needs very few splits.
+        assert!(t.node_count() < 20, "nodes = {}", t.node_count());
+    }
+
+    #[test]
+    fn approximates_smooth_function() {
+        let data = grid_dataset(|x, z| (x * 6.0).sin() + z);
+        let t = DecisionTree::fit(&data, &TreeParams::default());
+        let mut err = 0.0;
+        let mut count = 0;
+        for i in 0..20 {
+            for j in 0..20 {
+                let (x, z) = (i as f64 / 20.0 + 0.013, j as f64 / 20.0 + 0.017);
+                let y = (x * 6.0).sin() + z;
+                err += (t.predict(&[x, z]) - y).abs();
+                count += 1;
+            }
+        }
+        let mean_err = err / count as f64;
+        assert!(mean_err < 0.1, "MAE = {}", mean_err);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let data = grid_dataset(|x, z| x * z);
+        let t = DecisionTree::fit(
+            &data,
+            &TreeParams { max_depth: 3, ..Default::default() },
+        );
+        assert!(t.depth() <= 4); // root + 3
+    }
+
+    #[test]
+    fn single_sample_is_a_leaf() {
+        let data = Dataset::new(vec![vec![1.0]], vec![42.0]).unwrap();
+        let t = DecisionTree::fit(&data, &TreeParams::default());
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.predict(&[123.0]), 42.0);
+    }
+
+    #[test]
+    fn constant_targets_yield_single_leaf() {
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let data = Dataset::new(rows, vec![7.0; 100]).unwrap();
+        let t = DecisionTree::fit(&data, &TreeParams::default());
+        assert_eq!(t.node_count(), 1);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let data = grid_dataset(|x, z| x + z * z);
+        let params = TreeParams { max_features: Some(1), ..Default::default() };
+        let a = DecisionTree::fit_seeded(&data, &params, 9);
+        let b = DecisionTree::fit_seeded(&data, &params, 9);
+        assert_eq!(a.predict(&[0.3, 0.7]), b.predict(&[0.3, 0.7]));
+        assert_eq!(a.node_count(), b.node_count());
+    }
+}

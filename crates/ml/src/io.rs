@@ -1,0 +1,179 @@
+//! Model persistence: a plain-text, line-oriented format so trained Dopia
+//! models can be shipped with a deployment (the paper's released framework
+//! includes its training data; we additionally ship trained models).
+//!
+//! Layout:
+//!
+//! ```text
+//! dopia-model v1 <LIN|SVR|DT|RF>
+//! <model-family-specific lines>
+//! ```
+//!
+//! The per-family bodies are produced by each model's `to_lines` and parsed
+//! by its `from_lines`; parsing validates structure so corrupt files fail
+//! loudly at load time rather than at inference time.
+
+use crate::dtree::DecisionTree;
+use crate::forest::RandomForest;
+use crate::linreg::LinearRegression;
+use crate::svr::Svr;
+use crate::{ModelKind, Regressor};
+use std::path::Path;
+
+const MAGIC: &str = "dopia-model v1";
+
+/// Serialize a trained model of a known family to the text format.
+pub fn to_string(kind: ModelKind, model: &dyn SerializableModel) -> String {
+    let mut lines = vec![format!("{} {}", MAGIC, kind.label())];
+    lines.extend(model.to_lines());
+    lines.join("\n") + "\n"
+}
+
+/// Parse a model from the text format.
+pub fn from_string(text: &str) -> Result<(ModelKind, Box<dyn Regressor>), String> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("empty model file")?;
+    let label = header
+        .strip_prefix(MAGIC)
+        .ok_or_else(|| format!("bad magic `{}`", header))?
+        .trim();
+    let kind = match label {
+        "LIN" => ModelKind::Lin,
+        "SVR" => ModelKind::Svr,
+        "DT" => ModelKind::Dt,
+        "RF" => ModelKind::Rf,
+        other => return Err(format!("unknown model kind `{}`", other)),
+    };
+    let model: Box<dyn Regressor> = match kind {
+        ModelKind::Lin => Box::new(LinearRegression::from_lines(&mut lines)?),
+        ModelKind::Svr => Box::new(Svr::from_lines(&mut lines)?),
+        ModelKind::Dt => Box::new(DecisionTree::from_lines(&mut lines)?),
+        ModelKind::Rf => Box::new(RandomForest::from_lines(&mut lines)?),
+    };
+    Ok((kind, model))
+}
+
+/// Save to a file.
+pub fn save(path: &Path, kind: ModelKind, model: &dyn SerializableModel) -> std::io::Result<()> {
+    std::fs::write(path, to_string(kind, model))
+}
+
+/// Load from a file.
+pub fn load(path: &Path) -> Result<(ModelKind, Box<dyn Regressor>), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {}", path.display(), e))?;
+    from_string(&text)
+}
+
+/// A model that knows how to serialize itself line by line.
+pub trait SerializableModel: Regressor {
+    fn to_lines(&self) -> Vec<String>;
+}
+
+impl SerializableModel for LinearRegression {
+    fn to_lines(&self) -> Vec<String> {
+        LinearRegression::to_lines(self)
+    }
+}
+
+impl SerializableModel for Svr {
+    fn to_lines(&self) -> Vec<String> {
+        Svr::to_lines(self)
+    }
+}
+
+impl SerializableModel for DecisionTree {
+    fn to_lines(&self) -> Vec<String> {
+        DecisionTree::to_lines(self)
+    }
+}
+
+impl SerializableModel for RandomForest {
+    fn to_lines(&self) -> Vec<String> {
+        RandomForest::to_lines(self)
+    }
+}
+
+/// Train a model and return both the boxed regressor and its serialized
+/// form (convenience for the training binaries).
+pub fn train_serialized(kind: ModelKind, data: &crate::Dataset, seed: u64) -> (Box<dyn Regressor>, String) {
+    match kind {
+        ModelKind::Lin => {
+            let m = LinearRegression::fit(data);
+            let s = to_string(kind, &m);
+            (Box::new(m), s)
+        }
+        ModelKind::Svr => {
+            let m = Svr::fit(data, &crate::SvrParams::default(), seed);
+            let s = to_string(kind, &m);
+            (Box::new(m), s)
+        }
+        ModelKind::Dt => {
+            let m = DecisionTree::fit(data, &crate::TreeParams::default());
+            let s = to_string(kind, &m);
+            (Box::new(m), s)
+        }
+        ModelKind::Rf => {
+            let m = RandomForest::fit(data, &crate::ForestParams::default(), seed);
+            let s = to_string(kind, &m);
+            (Box::new(m), s)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Dataset;
+
+    fn dataset() -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![(i % 20) as f64 / 20.0, (i % 7) as f64])
+            .collect();
+        let ys: Vec<f64> = rows.iter().map(|r| if r[0] > 0.5 { r[1] } else { -r[1] }).collect();
+        Dataset::new(rows, ys).unwrap()
+    }
+
+    #[test]
+    fn every_family_round_trips_exactly() {
+        let data = dataset();
+        let probes = [vec![0.25, 3.0], vec![0.75, 6.0], vec![0.5, 0.0]];
+        for kind in ModelKind::all() {
+            let (original, text) = train_serialized(kind, &data, 5);
+            let (loaded_kind, loaded) = from_string(&text)
+                .unwrap_or_else(|e| panic!("{}: {}", kind.label(), e));
+            assert_eq!(loaded_kind, kind);
+            for p in &probes {
+                assert_eq!(
+                    original.predict(p),
+                    loaded.predict(p),
+                    "{} prediction drifted after round trip",
+                    kind.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_files_fail_loudly() {
+        assert!(from_string("").is_err());
+        assert!(from_string("not a model\n").is_err());
+        assert!(from_string("dopia-model v1 XX\n").is_err());
+        assert!(from_string("dopia-model v1 DT\nnodes 2\nL 1.0\n").is_err()); // truncated
+        assert!(from_string("dopia-model v1 DT\nnodes 1\nS 0 1.0 5 6\n").is_err()); // bad child
+        assert!(from_string("dopia-model v1 LIN\ncoeffs 1 2\nstats 0 1 0 1\n").is_err()); // shape
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("dopia_model_io");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.txt");
+        let data = dataset();
+        let m = DecisionTree::fit(&data, &crate::TreeParams::default());
+        save(&path, ModelKind::Dt, &m).unwrap();
+        let (kind, loaded) = load(&path).unwrap();
+        assert_eq!(kind, ModelKind::Dt);
+        assert_eq!(m.predict(&[0.3, 2.0]), loaded.predict(&[0.3, 2.0]));
+        assert!(load(&dir.join("missing.txt")).is_err());
+    }
+}

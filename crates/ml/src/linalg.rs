@@ -1,0 +1,117 @@
+//! Minimal dense linear algebra: symmetric positive-definite solves for
+//! ordinary least squares.
+//!
+//! Index-based loops are deliberate throughout: triangular iteration
+//! spaces read far more clearly with explicit indices.
+#![allow(clippy::needless_range_loop)]
+
+/// Solve `A x = b` for symmetric positive-definite `A` (row-major, n x n)
+/// via Cholesky decomposition. Returns `None` if `A` is not SPD.
+pub fn solve_spd(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
+    let n = b.len();
+    debug_assert!(a.len() == n && a.iter().all(|r| r.len() == n));
+    // Cholesky: A = L L^T.
+    let mut l = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i][j];
+            for k in 0..j {
+                sum -= l[i][k] * l[j][k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l[i][j] = sum.sqrt();
+            } else {
+                l[i][j] = sum / l[j][j];
+            }
+        }
+    }
+    // Forward solve L y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i][k] * y[k];
+        }
+        y[i] = sum / l[i][i];
+    }
+    // Backward solve L^T x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in (i + 1)..n {
+            sum -= l[k][i] * x[k];
+        }
+        x[i] = sum / l[i][i];
+    }
+    Some(x)
+}
+
+/// `A^T A` (+ `ridge` on the diagonal) and `A^T b` for the normal
+/// equations, where `A` is `rows` with an implicit leading 1 column (bias).
+pub fn normal_equations(rows: &[Vec<f64>], targets: &[f64], ridge: f64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let d = rows.first().map(Vec::len).unwrap_or(0) + 1; // bias column
+    let mut ata = vec![vec![0.0; d]; d];
+    let mut atb = vec![0.0; d];
+    let mut aug = vec![0.0; d];
+    for (row, &y) in rows.iter().zip(targets) {
+        aug[0] = 1.0;
+        aug[1..].copy_from_slice(row);
+        for i in 0..d {
+            for j in i..d {
+                ata[i][j] += aug[i] * aug[j];
+            }
+            atb[i] += aug[i] * y;
+        }
+    }
+    for i in 0..d {
+        for j in 0..i {
+            ata[i][j] = ata[j][i];
+        }
+        ata[i][i] += ridge;
+    }
+    (ata, atb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve_spd(&a, &[3.0, -2.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_known_spd_system() {
+        // A = [[4,2],[2,3]], b = [10, 8] -> x = [1.75, 1.5]
+        let a = vec![vec![4.0, 2.0], vec![2.0, 3.0]];
+        let x = solve_spd(&a, &[10.0, 8.0]).unwrap();
+        assert!((x[0] - 1.75).abs() < 1e-12, "{:?}", x);
+        assert!((x[1] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_spd() {
+        let a = vec![vec![0.0, 0.0], vec![0.0, 0.0]];
+        assert!(solve_spd(&a, &[1.0, 1.0]).is_none());
+        let a = vec![vec![1.0, 2.0], vec![2.0, 1.0]]; // indefinite
+        assert!(solve_spd(&a, &[1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn normal_equations_recover_line() {
+        // y = 2x + 1 exactly.
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..10).map(|i| 2.0 * i as f64 + 1.0).collect();
+        let (ata, atb) = normal_equations(&rows, &ys, 1e-9);
+        let x = solve_spd(&ata, &atb).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-6, "bias {:?}", x);
+        assert!((x[1] - 2.0).abs() < 1e-6, "slope {:?}", x);
+    }
+}

@@ -1,0 +1,138 @@
+//! Ordinary least squares linear regression ("LIN" in the paper).
+
+use crate::dataset::Dataset;
+use crate::linalg::{normal_equations, solve_spd};
+use crate::Regressor;
+
+/// A fitted linear model `y = b0 + b · x` on standardized features.
+#[derive(Debug, Clone)]
+pub struct LinearRegression {
+    /// Bias plus one coefficient per (standardized) feature.
+    coeffs: Vec<f64>,
+    /// Per-feature (mean, std) used for standardization.
+    stats: Vec<(f64, f64)>,
+}
+
+impl LinearRegression {
+    /// Fit by ridge-stabilized normal equations. Standardizing first keeps
+    /// the Gram matrix well-conditioned for features spanning many orders
+    /// of magnitude (global_size vs. utilization fractions).
+    pub fn fit(data: &Dataset) -> Self {
+        let stats = data.feature_stats();
+        let rows: Vec<Vec<f64>> = data
+            .rows()
+            .iter()
+            .map(|r| standardize(r, &stats))
+            .collect();
+        let (ata, atb) = normal_equations(&rows, data.targets(), 1e-6);
+        let coeffs = solve_spd(&ata, &atb)
+            .unwrap_or_else(|| vec![0.0; data.dims() + 1]);
+        LinearRegression { coeffs, stats }
+    }
+
+    /// The fitted coefficients (bias first), in standardized feature space.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coeffs
+    }
+}
+
+fn standardize(row: &[f64], stats: &[(f64, f64)]) -> Vec<f64> {
+    row.iter()
+        .zip(stats)
+        .map(|(&v, &(m, s))| (v - m) / s)
+        .collect()
+}
+
+impl LinearRegression {
+    /// Serialize (see [`crate::io`]).
+    pub fn to_lines(&self) -> Vec<String> {
+        let coeffs: Vec<String> = self.coeffs.iter().map(|c| format!("{:e}", c)).collect();
+        let stats: Vec<String> =
+            self.stats.iter().map(|(m, s)| format!("{:e} {:e}", m, s)).collect();
+        vec![
+            format!("coeffs {}", coeffs.join(" ")),
+            format!("stats {}", stats.join(" ")),
+        ]
+    }
+
+    /// Parse the output of [`LinearRegression::to_lines`].
+    pub fn from_lines<'a>(
+        lines: &mut impl Iterator<Item = &'a str>,
+    ) -> Result<LinearRegression, String> {
+        let cline = lines.next().ok_or("missing coeffs line")?;
+        let coeffs: Vec<f64> = cline
+            .strip_prefix("coeffs ")
+            .ok_or("bad coeffs line")?
+            .split_whitespace()
+            .map(|v| v.parse().map_err(|e| format!("bad coeff: {}", e)))
+            .collect::<Result<_, String>>()?;
+        let sline = lines.next().ok_or("missing stats line")?;
+        let flat: Vec<f64> = sline
+            .strip_prefix("stats ")
+            .ok_or("bad stats line")?
+            .split_whitespace()
+            .map(|v| v.parse().map_err(|e| format!("bad stat: {}", e)))
+            .collect::<Result<_, String>>()?;
+        if flat.len() % 2 != 0 || coeffs.len() != flat.len() / 2 + 1 {
+            return Err("linear model shape mismatch".into());
+        }
+        let stats = flat.chunks(2).map(|c| (c[0], c[1])).collect();
+        Ok(LinearRegression { coeffs, stats })
+    }
+}
+
+impl Regressor for LinearRegression {
+    fn predict(&self, features: &[f64]) -> f64 {
+        let mut y = self.coeffs[0];
+        for (j, &v) in features.iter().enumerate() {
+            let (m, s) = self.stats[j];
+            y += self.coeffs[j + 1] * (v - m) / s;
+        }
+        y
+    }
+
+    fn name(&self) -> &'static str {
+        "LIN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_linear_function() {
+        let rows: Vec<Vec<f64>> =
+            (0..50).map(|i| vec![i as f64, (i % 7) as f64]).collect();
+        let ys: Vec<f64> = rows.iter().map(|r| 3.0 * r[0] - 2.0 * r[1] + 5.0).collect();
+        let data = Dataset::new(rows, ys).unwrap();
+        let m = LinearRegression::fit(&data);
+        for (i, row) in data.rows().iter().enumerate() {
+            assert!(
+                (m.predict(row) - data.target(i)).abs() < 1e-4,
+                "row {:?}: {} vs {}",
+                row,
+                m.predict(row),
+                data.target(i)
+            );
+        }
+    }
+
+    #[test]
+    fn handles_constant_feature() {
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, 7.0]).collect();
+        let ys: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let data = Dataset::new(rows, ys).unwrap();
+        let m = LinearRegression::fit(&data);
+        assert!((m.predict(&[10.0, 7.0]) - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn extrapolates_linearly() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..10).map(|i| 2.0 * i as f64).collect();
+        let data = Dataset::new(rows, ys).unwrap();
+        let m = LinearRegression::fit(&data);
+        assert!((m.predict(&[100.0]) - 200.0).abs() < 1e-2);
+    }
+}

@@ -1,0 +1,634 @@
+//! Discrete-event co-execution of CPU cores and GPU chunk dispatches over
+//! one shared DRAM.
+//!
+//! Agents:
+//! * each active **CPU core** pulls one work-group at a time from the
+//!   shared worklist (paper Fig. 7 / Algorithm 1 lines 7–9),
+//! * the **GPU** is pushed chunks of work-groups, each preceded by a fixed
+//!   dispatch latency, and processes a chunk across its CUs before the next
+//!   chunk is enqueued (Algorithm 1 lines 10–17).
+//!
+//! Between events, busy agents drain two resources simultaneously: private
+//! compute (rate 1) and DRAM bytes at a rate set by **water-filling** the
+//! shared bandwidth across agents subject to each agent's own
+//! latency/MLP ceiling (`bw_cap x dram_efficiency`). An agent completes
+//! when both resources reach zero — the classic overlap model
+//! `t = max(t_compute, t_memory)` generalized to time-varying contention.
+//!
+//! The simulation is exact for piecewise-constant rates: every completion
+//! recomputes the allocation.
+
+use crate::cost::GroupCost;
+
+/// Work distribution policies (paper Section 8.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Schedule {
+    /// Algorithm 1: CPU cores pull single groups; the GPU is pushed chunks
+    /// of `num_groups / chunk_divisor` groups (the paper uses 10).
+    Dynamic { chunk_divisor: usize },
+    /// A fixed split: the first `cpu_fraction` of the groups go to the CPU
+    /// (divided among cores), the rest to the GPU as one dispatch.
+    Static { cpu_fraction: f64 },
+    /// The paper's future-work variant (Section 7): on platforms with
+    /// CPU/GPU-coherent global atomics (AMD), a single persistent GPU
+    /// dispatch pulls work-groups off the *same* global worklist the CPU
+    /// cores use — one wave of groups (one per CU) at a time, paying the
+    /// launch latency only once. Removes the push-chunk tail imbalance.
+    DynamicPull,
+}
+
+/// GPU-side DES parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct GpuAgentParams {
+    pub cost: GroupCost,
+    /// Number of compute units (a chunk of G groups takes
+    /// `ceil(G / cus) x compute_s` of compute).
+    pub cus: usize,
+    /// Dispatch latency per chunk in seconds.
+    pub launch_latency_s: f64,
+}
+
+/// Input to one DES run.
+#[derive(Debug, Clone)]
+pub struct DesInput {
+    pub num_groups: usize,
+    /// Active CPU cores (0 disables the CPU device).
+    pub cpu_cores: usize,
+    /// Per-group CPU cost (required if `cpu_cores > 0`).
+    pub cpu_cost: Option<GroupCost>,
+    /// GPU parameters (`None` disables the GPU device).
+    pub gpu: Option<GpuAgentParams>,
+    pub schedule: Schedule,
+    /// Shared DRAM bandwidth in GB/s.
+    pub dram_bw_gbs: f64,
+}
+
+/// Result of a DES run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesReport {
+    /// Simulated makespan in seconds.
+    pub time_s: f64,
+    /// Total DRAM traffic in bytes.
+    pub dram_bytes: f64,
+    /// Work-groups executed by the CPU device.
+    pub cpu_groups: usize,
+    /// Work-groups executed by the GPU device.
+    pub gpu_groups: usize,
+    /// Aggregate busy time of CPU cores (seconds).
+    pub cpu_busy_s: f64,
+    /// Busy time of the GPU (seconds, including dispatch latency).
+    pub gpu_busy_s: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum State {
+    Idle,
+    /// Waiting out dispatch latency.
+    Latency { remaining_s: f64, pending_groups: usize },
+    Busy { rem_compute_s: f64, rem_bytes: f64, groups: usize },
+    Done,
+}
+
+struct Agent {
+    is_gpu: bool,
+    cost: GroupCost,
+    state: State,
+    groups_done: usize,
+    busy_s: f64,
+    /// Whether this GPU agent has paid its dispatch latency (pull mode
+    /// pays once per persistent kernel).
+    launched: bool,
+}
+
+const EPS: f64 = 1e-15;
+
+/// Run the discrete-event simulation.
+///
+/// # Panics
+/// Panics if `cpu_cores > 0` without `cpu_cost`, or if both devices are
+/// disabled with work remaining.
+pub fn run_des(input: &DesInput) -> DesReport {
+    assert!(
+        input.cpu_cores == 0 || input.cpu_cost.is_some(),
+        "cpu_cores > 0 requires cpu_cost"
+    );
+    assert!(
+        input.cpu_cores > 0 || input.gpu.is_some() || input.num_groups == 0,
+        "no device enabled"
+    );
+
+    // Split the worklist according to the schedule.
+    let (mut cpu_pool, mut gpu_pool, shared) = match input.schedule {
+        Schedule::Dynamic { .. } | Schedule::DynamicPull => (0usize, 0usize, input.num_groups),
+        Schedule::Static { cpu_fraction } => {
+            let f = cpu_fraction.clamp(0.0, 1.0);
+            let mut cpu = (input.num_groups as f64 * f).round() as usize;
+            if input.gpu.is_none() {
+                cpu = input.num_groups;
+            }
+            if input.cpu_cores == 0 {
+                cpu = 0;
+            }
+            (cpu, input.num_groups - cpu, 0usize)
+        }
+    };
+    let mut shared_pool = shared;
+
+    let per_cu_pull = matches!(input.schedule, Schedule::DynamicPull);
+    let gpu_chunk = match input.schedule {
+        Schedule::Dynamic { chunk_divisor } => {
+            (input.num_groups / chunk_divisor.max(1)).max(1)
+        }
+        // Pull-based: every CU is its own agent pulling one group at a
+        // time off the shared worklist.
+        Schedule::DynamicPull => 1,
+        Schedule::Static { .. } => gpu_pool.max(1),
+    };
+
+    let mut agents: Vec<Agent> = Vec::new();
+    for _ in 0..input.cpu_cores {
+        agents.push(Agent {
+            is_gpu: false,
+            cost: input.cpu_cost.unwrap(),
+            state: State::Idle,
+            groups_done: 0,
+            busy_s: 0.0,
+            launched: false,
+        });
+    }
+    let gpu_index = agents.len();
+    if let Some(g) = input.gpu {
+        if per_cu_pull {
+            // One agent per CU, each owning an equal share of the device's
+            // bandwidth ceiling (the water-filling redistributes slack).
+            let mut cost = g.cost;
+            cost.bw_cap_gbs /= g.cus as f64;
+            for _ in 0..g.cus {
+                agents.push(Agent {
+                    is_gpu: true,
+                    cost,
+                    state: State::Idle,
+                    groups_done: 0,
+                    busy_s: 0.0,
+                    launched: false,
+                });
+            }
+        } else {
+            agents.push(Agent {
+                is_gpu: true,
+                cost: g.cost,
+                state: State::Idle,
+                groups_done: 0,
+                busy_s: 0.0,
+                launched: false,
+            });
+        }
+    }
+
+    let mut time = 0.0f64;
+    let mut dram_bytes = 0.0f64;
+    // Scratch buffers reused across events (launches can reach millions of
+    // work-groups; per-event allocation would dominate).
+    let mut caps: Vec<(usize, f64)> = Vec::with_capacity(agents.len());
+    let mut rates = vec![0.0f64; agents.len()];
+
+    loop {
+        // 1. Hand out work to idle agents.
+        for (i, agent) in agents.iter_mut().enumerate() {
+            if !matches!(agent.state, State::Idle) {
+                continue;
+            }
+            if agent.is_gpu {
+                let pool = if shared > 0 { &mut shared_pool } else { &mut gpu_pool };
+                let take = gpu_chunk.min(*pool);
+                if take == 0 {
+                    agent.state = State::Done;
+                    continue;
+                }
+                *pool -= take;
+                let params = input.gpu.as_ref().unwrap();
+                let latency = if per_cu_pull && agent.launched {
+                    0.0
+                } else {
+                    params.launch_latency_s
+                };
+                agent.launched = true;
+                agent.state =
+                    State::Latency { remaining_s: latency, pending_groups: take };
+                let _ = i;
+            } else {
+                let pool = if shared > 0 { &mut shared_pool } else { &mut cpu_pool };
+                if *pool == 0 {
+                    agent.state = State::Done;
+                    continue;
+                }
+                *pool -= 1;
+                agent.state = State::Busy {
+                    rem_compute_s: agent.cost.compute_s,
+                    rem_bytes: agent.cost.dram_bytes,
+                    groups: 1,
+                };
+                dram_bytes += agent.cost.dram_bytes;
+            }
+        }
+        // Promote GPU out of latency into busy immediately if latency hit 0
+        // handled below in the advance step.
+
+        // 2. Check termination.
+        if agents.iter().all(|a| matches!(a.state, State::Done)) {
+            break;
+        }
+
+        // 3. Water-fill DRAM bandwidth across memory-hungry busy agents.
+        //    (GB/s == bytes/ns; work in bytes/sec for clarity.)
+        caps.clear();
+        for (i, a) in agents.iter().enumerate() {
+            if let State::Busy { rem_bytes, .. } = a.state {
+                if rem_bytes > EPS {
+                    caps.push((i, a.cost.bw_cap_gbs * a.cost.dram_efficiency * 1e9));
+                }
+            }
+        }
+        caps.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        rates.fill(0.0);
+        let mut remaining_bw = input.dram_bw_gbs * 1e9;
+        let mut left = caps.len();
+        for &(i, cap) in &caps {
+            let fair = remaining_bw / left as f64;
+            let r = cap.min(fair);
+            rates[i] = r;
+            remaining_bw -= r;
+            left -= 1;
+        }
+
+        // 4. Time to next completion.
+        let mut dt = f64::INFINITY;
+        for (i, agent) in agents.iter().enumerate() {
+            let t = match agent.state {
+                State::Latency { remaining_s, .. } => remaining_s,
+                State::Busy { rem_compute_s, rem_bytes, .. } => {
+                    let t_mem = if rem_bytes > EPS {
+                        if rates[i] > EPS {
+                            rem_bytes / rates[i]
+                        } else {
+                            f64::INFINITY
+                        }
+                    } else {
+                        0.0
+                    };
+                    rem_compute_s.max(t_mem)
+                }
+                _ => continue,
+            };
+            dt = dt.min(t);
+        }
+        assert!(dt.is_finite(), "deadlock: busy agents cannot progress");
+        let dt = dt.max(0.0);
+
+        // 5. Advance all agents by dt.
+        time += dt;
+        for (i, agent) in agents.iter_mut().enumerate() {
+            match &mut agent.state {
+                State::Latency { remaining_s, pending_groups } => {
+                    agent.busy_s += dt;
+                    *remaining_s -= dt;
+                    if *remaining_s <= EPS {
+                        let groups = *pending_groups;
+                        let params = input.gpu.as_ref().unwrap();
+                        // Per-CU agents process their single group alone;
+                        // the chunked device spreads a chunk across CUs.
+                        let waves = if per_cu_pull {
+                            groups as f64
+                        } else {
+                            (groups as f64 / params.cus as f64).ceil()
+                        };
+                        let bytes = agent.cost.dram_bytes * groups as f64;
+                        agent.state = State::Busy {
+                            rem_compute_s: agent.cost.compute_s * waves,
+                            rem_bytes: bytes,
+                            groups,
+                        };
+                        dram_bytes += bytes;
+                    }
+                }
+                State::Busy { rem_compute_s, rem_bytes, groups } => {
+                    agent.busy_s += dt;
+                    *rem_compute_s = (*rem_compute_s - dt).max(0.0);
+                    *rem_bytes = (*rem_bytes - rates[i] * dt).max(0.0);
+                    if *rem_compute_s <= EPS && *rem_bytes <= EPS {
+                        agent.groups_done += *groups;
+                        agent.state = State::Idle;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let cpu_groups: usize =
+        agents.iter().filter(|a| !a.is_gpu).map(|a| a.groups_done).sum();
+    let gpu_groups: usize =
+        agents.iter().filter(|a| a.is_gpu).map(|a| a.groups_done).sum();
+    let cpu_busy: f64 = agents.iter().filter(|a| !a.is_gpu).map(|a| a.busy_s).sum();
+    let gpu_busy: f64 = agents.iter().filter(|a| a.is_gpu).map(|a| a.busy_s).sum();
+    let _ = gpu_index;
+
+    DesReport {
+        time_s: time,
+        dram_bytes,
+        cpu_groups,
+        gpu_groups,
+        cpu_busy_s: cpu_busy,
+        gpu_busy_s: gpu_busy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost(compute_s: f64, bytes: f64, cap: f64) -> GroupCost {
+        GroupCost { compute_s, dram_bytes: bytes, bw_cap_gbs: cap, dram_efficiency: 1.0 }
+    }
+
+    fn gpu(cost: GroupCost, cus: usize) -> GpuAgentParams {
+        GpuAgentParams { cost, cus, launch_latency_s: 0.0 }
+    }
+
+    #[test]
+    fn cpu_only_compute_bound_scales_with_cores() {
+        // 100 groups x 1 ms compute, no memory: 4 cores → 25 ms.
+        let input = DesInput {
+            num_groups: 100,
+            cpu_cores: 4,
+            cpu_cost: Some(cost(1e-3, 0.0, 6.0)),
+            gpu: None,
+            schedule: Schedule::Dynamic { chunk_divisor: 10 },
+            dram_bw_gbs: 15.0,
+        };
+        let r = run_des(&input);
+        assert!((r.time_s - 0.025).abs() < 1e-9, "time {}", r.time_s);
+        assert_eq!(r.cpu_groups, 100);
+        assert_eq!(r.gpu_groups, 0);
+    }
+
+    #[test]
+    fn memory_bound_time_matches_bandwidth() {
+        // 10 groups x 15 MB each at 15 GB/s total: exactly 10 ms regardless
+        // of core count (the bus is the bottleneck).
+        let input = DesInput {
+            num_groups: 10,
+            cpu_cores: 4,
+            cpu_cost: Some(cost(0.0, 15e6, 100.0)),
+            gpu: None,
+            schedule: Schedule::Dynamic { chunk_divisor: 10 },
+            dram_bw_gbs: 15.0,
+        };
+        let r = run_des(&input);
+        assert!((r.time_s - 0.01).abs() < 1e-6, "time {}", r.time_s);
+        assert!((r.dram_bytes - 150e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn per_agent_cap_limits_single_core() {
+        // One core capped at 6 GB/s on a 15 GB/s bus: cap binds.
+        let input = DesInput {
+            num_groups: 1,
+            cpu_cores: 1,
+            cpu_cost: Some(cost(0.0, 6e9, 6.0)),
+            gpu: None,
+            schedule: Schedule::Dynamic { chunk_divisor: 10 },
+            dram_bw_gbs: 15.0,
+        };
+        let r = run_des(&input);
+        assert!((r.time_s - 1.0).abs() < 1e-9, "time {}", r.time_s);
+    }
+
+    #[test]
+    fn overlap_takes_max_of_compute_and_memory() {
+        let input = DesInput {
+            num_groups: 1,
+            cpu_cores: 1,
+            cpu_cost: Some(cost(2.0, 6e9, 6.0)), // mem alone: 1 s; compute: 2 s
+            gpu: None,
+            schedule: Schedule::Dynamic { chunk_divisor: 10 },
+            dram_bw_gbs: 15.0,
+        };
+        let r = run_des(&input);
+        assert!((r.time_s - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gpu_chunks_and_launch_latency() {
+        // 100 groups, dynamic chunks of 10, latency 1 ms per dispatch, 10
+        // CUs → each chunk: 1 ms latency + 1 wave x 1 ms compute = 2 ms;
+        // 10 chunks = 20 ms.
+        let input = DesInput {
+            num_groups: 100,
+            cpu_cores: 0,
+            cpu_cost: None,
+            gpu: Some(GpuAgentParams {
+                cost: cost(1e-3, 0.0, 10.0),
+                cus: 10,
+                launch_latency_s: 1e-3,
+            }),
+            schedule: Schedule::Dynamic { chunk_divisor: 10 },
+            dram_bw_gbs: 15.0,
+        };
+        let r = run_des(&input);
+        assert!((r.time_s - 0.02).abs() < 1e-9, "time {}", r.time_s);
+        assert_eq!(r.gpu_groups, 100);
+    }
+
+    #[test]
+    fn contention_splits_bandwidth_fairly() {
+        // Two cores, each wants 10 GB/s (cap 10) on a 10 GB/s bus: each
+        // gets 5 → both take 2 s for 10 GB each.
+        let input = DesInput {
+            num_groups: 2,
+            cpu_cores: 2,
+            cpu_cost: Some(cost(0.0, 10e9, 10.0)),
+            gpu: None,
+            schedule: Schedule::Dynamic { chunk_divisor: 10 },
+            dram_bw_gbs: 10.0,
+        };
+        let r = run_des(&input);
+        assert!((r.time_s - 2.0).abs() < 1e-6, "time {}", r.time_s);
+    }
+
+    #[test]
+    fn waterfill_gives_leftover_to_hungry_agent() {
+        // Agent A capped at 2 GB/s, agent B capped at 20: on a 10 GB/s bus
+        // B should get 8, not 5.
+        let mut a = cost(0.0, 2e9, 2.0);
+        a.dram_efficiency = 1.0;
+        let input = DesInput {
+            num_groups: 2,
+            cpu_cores: 1,
+            cpu_cost: Some(a),
+            gpu: Some(gpu(cost(0.0, 16e9, 20.0), 1)),
+            schedule: Schedule::Static { cpu_fraction: 0.5 },
+            dram_bw_gbs: 10.0,
+        };
+        let r = run_des(&input);
+        // A: 2 GB at 2 GB/s = 1 s. B: 16 GB at 8 GB/s while A active...
+        // after A finishes B gets min(20, 10) = 10 GB/s for the remaining
+        // 8 GB: 1 s + 0.8 s = 1.8 s? B transfers 8 GB in the first second,
+        // remaining 8 GB at 10 GB/s = 0.8 s → 1.8 s total.
+        assert!((r.time_s - 1.8).abs() < 1e-6, "time {}", r.time_s);
+    }
+
+    #[test]
+    fn dynamic_balances_heterogeneous_speeds() {
+        // GPU 10x faster: with dynamic distribution it should take the
+        // lion's share and finish near-simultaneously with the CPU.
+        let input = DesInput {
+            num_groups: 110,
+            cpu_cores: 1,
+            cpu_cost: Some(cost(10e-3, 0.0, 6.0)),
+            gpu: Some(gpu(cost(1e-3, 0.0, 10.0), 1)),
+            schedule: Schedule::Dynamic { chunk_divisor: 110 }, // chunk = 1
+            dram_bw_gbs: 15.0,
+        };
+        let r = run_des(&input);
+        assert!(r.gpu_groups > 90, "gpu took {}", r.gpu_groups);
+        // Makespan near the ideal 100 ms / (1 + 10) x ... ideal = 110
+        // groups / (100 + 1000 groups/s) = 0.1 s.
+        assert!(r.time_s < 0.115, "time {}", r.time_s);
+    }
+
+    #[test]
+    fn bad_static_split_strands_a_device() {
+        // Same speeds but a 50:50 static split: CPU tail dominates.
+        let input = DesInput {
+            num_groups: 110,
+            cpu_cores: 1,
+            cpu_cost: Some(cost(10e-3, 0.0, 6.0)),
+            gpu: Some(gpu(cost(1e-3, 0.0, 10.0), 1)),
+            schedule: Schedule::Static { cpu_fraction: 0.5 },
+            dram_bw_gbs: 15.0,
+        };
+        let r = run_des(&input);
+        assert!((r.time_s - 0.55).abs() < 1e-6, "time {}", r.time_s); // 55 groups x 10 ms
+    }
+
+    #[test]
+    fn dynamic_pull_uses_per_cu_agents() {
+        // 8 CUs, 16 groups, 1 ms compute each, no memory: per-CU pulls
+        // complete 8 groups per ms → 2 ms + one launch latency.
+        let input = DesInput {
+            num_groups: 16,
+            cpu_cores: 0,
+            cpu_cost: None,
+            gpu: Some(GpuAgentParams {
+                cost: cost(1e-3, 0.0, 10.0),
+                cus: 8,
+                launch_latency_s: 0.5e-3,
+            }),
+            schedule: Schedule::DynamicPull,
+            dram_bw_gbs: 15.0,
+        };
+        let r = run_des(&input);
+        assert!((r.time_s - 2.5e-3).abs() < 1e-9, "time {}", r.time_s);
+        assert_eq!(r.gpu_groups, 16);
+    }
+
+    #[test]
+    fn dynamic_pull_pays_latency_once() {
+        // Same as above but with many rounds: latency must not repeat.
+        let one_round = run_des(&DesInput {
+            num_groups: 8,
+            cpu_cores: 0,
+            cpu_cost: None,
+            gpu: Some(GpuAgentParams {
+                cost: cost(1e-3, 0.0, 10.0),
+                cus: 8,
+                launch_latency_s: 1e-3,
+            }),
+            schedule: Schedule::DynamicPull,
+            dram_bw_gbs: 15.0,
+        });
+        let four_rounds = run_des(&DesInput {
+            num_groups: 32,
+            cpu_cores: 0,
+            cpu_cost: None,
+            gpu: Some(GpuAgentParams {
+                cost: cost(1e-3, 0.0, 10.0),
+                cus: 8,
+                launch_latency_s: 1e-3,
+            }),
+            schedule: Schedule::DynamicPull,
+            dram_bw_gbs: 15.0,
+        });
+        // 1 round: 1 ms latency + 1 ms compute; 4 rounds: 1 ms + 4 ms.
+        assert!((one_round.time_s - 2e-3).abs() < 1e-9, "{}", one_round.time_s);
+        assert!((four_rounds.time_s - 5e-3).abs() < 1e-9, "{}", four_rounds.time_s);
+    }
+
+    #[test]
+    fn dynamic_pull_has_smaller_tail_than_coarse_push() {
+        // Heterogeneous devices with a coarse push chunk: the GPU grabs a
+        // quarter of the work at once and strands the CPU; per-CU pull
+        // claims only one group per CU at a time.
+        let gpu_params = GpuAgentParams {
+            cost: cost(10e-3, 0.0, 10.0), // slow GPU groups
+            cus: 2,
+            launch_latency_s: 0.0,
+        };
+        let base = DesInput {
+            num_groups: 40,
+            cpu_cores: 4,
+            cpu_cost: Some(cost(1e-3, 0.0, 6.0)), // fast CPU groups
+            gpu: Some(gpu_params),
+            schedule: Schedule::Dynamic { chunk_divisor: 4 }, // chunk = 10
+            dram_bw_gbs: 15.0,
+        };
+        let push = run_des(&base);
+        let pull = run_des(&DesInput { schedule: Schedule::DynamicPull, ..base });
+        assert!(
+            pull.time_s < push.time_s,
+            "pull {} should beat coarse push {}",
+            pull.time_s,
+            push.time_s
+        );
+    }
+
+    #[test]
+    fn zero_groups_is_trivial() {
+        let input = DesInput {
+            num_groups: 0,
+            cpu_cores: 1,
+            cpu_cost: Some(cost(1.0, 0.0, 6.0)),
+            gpu: None,
+            schedule: Schedule::Dynamic { chunk_divisor: 10 },
+            dram_bw_gbs: 15.0,
+        };
+        let r = run_des(&input);
+        assert_eq!(r.time_s, 0.0);
+        assert_eq!(r.cpu_groups + r.gpu_groups, 0);
+    }
+
+    #[test]
+    fn all_groups_processed_exactly_once() {
+        for &(cores, with_gpu, frac) in
+            &[(4usize, true, 0.3f64), (2, true, 0.9), (4, false, 1.0), (0, true, 0.0)]
+        {
+            for schedule in [Schedule::Dynamic { chunk_divisor: 10 }, Schedule::Static { cpu_fraction: frac }]
+            {
+                if cores == 0 && !with_gpu {
+                    continue;
+                }
+                let input = DesInput {
+                    num_groups: 64,
+                    cpu_cores: cores,
+                    cpu_cost: if cores > 0 { Some(cost(1e-3, 1e5, 6.0)) } else { None },
+                    gpu: if with_gpu { Some(gpu(cost(0.5e-3, 2e5, 12.0), 8)) } else { None },
+                    schedule,
+                    dram_bw_gbs: 15.0,
+                };
+                let r = run_des(&input);
+                assert_eq!(r.cpu_groups + r.gpu_groups, 64, "{:?}", input.schedule);
+            }
+        }
+    }
+}

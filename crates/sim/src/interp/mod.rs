@@ -1,0 +1,103 @@
+//! Functional interpreter for `clc` kernels.
+//!
+//! Executes OpenCL work-groups the way an integrated device would observe
+//! them: work-items of one group share `__local` memory and synchronize at
+//! top-level `barrier()` calls; all groups share the global
+//! [`crate::buffer::Memory`].
+//!
+//! Two modes:
+//!
+//! * [`Mode::Full`] — faithful functional execution. Every work-item of
+//!   every group runs to completion; stores hit memory; atomics are real
+//!   (serialized, which is a legal schedule). Used to validate that Dopia's
+//!   malleable rewrites are semantics-preserving.
+//! * [`Mode::Profile`] — sampling execution for the profiler: stores are
+//!   suppressed and counted, and `for` loops with analyzable induction
+//!   variables run a few iterations and extrapolate the rest (see
+//!   `exec`). Used to characterize paper-scale inputs without paying
+//!   paper-scale interpretation time.
+//!
+//! Barrier restriction: `barrier()` must appear as a top-level statement of
+//! the kernel body. The kernel is split into barrier-delimited *phases*;
+//! each phase runs for every work-item of the group before the next phase
+//! starts. This matches how Dopia's generated malleable kernels use
+//! barriers (one after worklist initialization) and covers the OpenCL
+//! work-group execution model for that shape. A barrier nested in control
+//! flow is reported as an unsupported-construct error.
+
+mod exec;
+mod tracer;
+
+pub use exec::{run_kernel, run_single_items, run_work_group, ExecError, ExecOptions, Mode};
+pub use tracer::{NullTracer, SiteKey, SiteStats, Tracer, TracingTracer};
+
+use crate::buffer::BufferId;
+use clc::Scalar;
+
+/// A runtime value. Floats use `f32` to match OpenCL single precision, so
+/// interpreter output is bit-comparable with `f32` reference code.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    Int(i64),
+    Float(f32),
+    /// Pointer into a global buffer (element offset).
+    GlobalPtr { buf: BufferId, offset: i64, elem: Scalar },
+    /// Pointer into a `__local` array of the current work-group.
+    LocalPtr { arr: usize, offset: i64 },
+    /// Pointer into a private (per-work-item) array.
+    PrivPtr { arr: usize, offset: i64 },
+}
+
+impl Value {
+    /// Numeric value as i64 (floats truncate like a C cast).
+    pub fn as_i64(&self) -> i64 {
+        match self {
+            Value::Int(v) => *v,
+            Value::Float(v) => *v as i64,
+            other => panic!("pointer value used as integer: {:?}", other),
+        }
+    }
+
+    /// Numeric value as f32.
+    pub fn as_f32(&self) -> f32 {
+        match self {
+            Value::Int(v) => *v as f32,
+            Value::Float(v) => *v,
+            other => panic!("pointer value used as float: {:?}", other),
+        }
+    }
+
+    /// Truthiness (C semantics: nonzero is true).
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            Value::Int(v) => *v != 0,
+            Value::Float(v) => *v != 0.0,
+            other => panic!("pointer value used as condition: {:?}", other),
+        }
+    }
+
+    /// True if this is a float value.
+    pub fn is_float(&self) -> bool {
+        matches!(self, Value::Float(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::Int(5).as_f32(), 5.0);
+        assert_eq!(Value::Float(2.9).as_i64(), 2); // C truncation
+        assert_eq!(Value::Float(-2.9).as_i64(), -2);
+        assert!(Value::Int(1).is_truthy());
+        assert!(!Value::Float(0.0).is_truthy());
+    }
+
+    #[test]
+    #[should_panic]
+    fn pointer_as_number_panics() {
+        Value::GlobalPtr { buf: BufferId(0), offset: 0, elem: Scalar::Float }.as_i64();
+    }
+}

@@ -1,0 +1,188 @@
+//! Execution tracers: hooks the interpreter calls on every memory access
+//! and arithmetic operation.
+//!
+//! The functional path uses [`NullTracer`] (zero cost); the profiler uses
+//! [`TracingTracer`], which records per-site access counts and short address
+//! prefixes from which access patterns, strides and footprints are derived.
+
+use crate::buffer::BufferId;
+use std::collections::HashMap;
+
+/// Identity of a static memory-access site. The interpreter keys sites by
+/// the address of their `Index` AST node, which is stable for the lifetime
+/// of the kernel AST — so repeated executions of the same expression
+/// accumulate into one site.
+pub type SiteKey = usize;
+
+/// Recorded statistics for one access site during one work-item execution.
+#[derive(Debug, Clone, Default)]
+pub struct SiteStats {
+    /// Buffer accessed (sites always target a single buffer in the subset).
+    pub buffer: Option<BufferId>,
+    /// Element size in bytes.
+    pub elem_bytes: usize,
+    /// Whether this site is a store.
+    pub is_store: bool,
+    /// Total accesses (extrapolated counts included).
+    pub count: f64,
+    /// First few element indices observed, in order (pre-extrapolation).
+    pub prefix: Vec<i64>,
+}
+
+/// Maximum recorded address-prefix length per site per work-item.
+pub const PREFIX_LEN: usize = 16;
+
+/// Hooks invoked by the interpreter. All methods default to no-ops so the
+/// functional path pays nothing.
+pub trait Tracer {
+    /// A load of `elem_bytes` bytes at element `idx` of `buf` from the site
+    /// keyed by `site`.
+    fn load(&mut self, _site: SiteKey, _buf: BufferId, _idx: i64, _elem_bytes: usize) {}
+    /// A store (profile mode suppresses the actual write but still traces).
+    fn store(&mut self, _site: SiteKey, _buf: BufferId, _idx: i64, _elem_bytes: usize) {}
+    /// `count` arithmetic operations, float or integer.
+    fn arith(&mut self, _is_float: bool, _count: f64) {}
+    /// Begin a scaling region: everything recorded after this call until the
+    /// matching [`Tracer::end_scale`] is multiplied by `factor`. Used by the
+    /// profile-mode loop extrapolation. Regions nest multiplicatively.
+    fn begin_scale(&mut self, _factor: f64) {}
+    fn end_scale(&mut self) {}
+}
+
+/// The zero-cost tracer for functional runs.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullTracer;
+
+impl Tracer for NullTracer {}
+
+/// The recording tracer for profiling runs.
+#[derive(Debug, Default)]
+pub struct TracingTracer {
+    /// Per-site statistics.
+    pub sites: HashMap<SiteKey, SiteStats>,
+    /// Site keys in first-touch order (stable reporting order).
+    pub site_order: Vec<SiteKey>,
+    /// Extrapolated float-op count.
+    pub flops: f64,
+    /// Extrapolated integer-op count.
+    pub iops: f64,
+    /// Stack of multiplicative scale factors (product applied to counts).
+    scale_stack: Vec<f64>,
+    scale: f64,
+}
+
+impl TracingTracer {
+    pub fn new() -> Self {
+        TracingTracer { scale: 1.0, ..Default::default() }
+    }
+
+    fn site_mut(
+        &mut self,
+        site: SiteKey,
+        buf: BufferId,
+        elem_bytes: usize,
+        is_store: bool,
+    ) -> &mut SiteStats {
+        if !self.sites.contains_key(&site) {
+            self.site_order.push(site);
+            self.sites.insert(
+                site,
+                SiteStats {
+                    buffer: Some(buf),
+                    elem_bytes,
+                    is_store,
+                    ..Default::default()
+                },
+            );
+        }
+        self.sites.get_mut(&site).unwrap()
+    }
+
+    fn access(&mut self, site: SiteKey, buf: BufferId, idx: i64, elem_bytes: usize, store: bool) {
+        let scale = self.scale;
+        let stats = self.site_mut(site, buf, elem_bytes, store);
+        stats.count += scale;
+        if stats.prefix.len() < PREFIX_LEN {
+            stats.prefix.push(idx);
+        }
+        // A site used for both loads and stores (e.g. `a[i] += x`) counts as
+        // both; keep the store flag sticky.
+        if store {
+            stats.is_store = true;
+        }
+    }
+
+    /// Total accesses across all sites.
+    pub fn total_accesses(&self) -> f64 {
+        self.sites.values().map(|s| s.count).sum()
+    }
+}
+
+impl Tracer for TracingTracer {
+    fn load(&mut self, site: SiteKey, buf: BufferId, idx: i64, elem_bytes: usize) {
+        self.access(site, buf, idx, elem_bytes, false);
+    }
+
+    fn store(&mut self, site: SiteKey, buf: BufferId, idx: i64, elem_bytes: usize) {
+        self.access(site, buf, idx, elem_bytes, true);
+    }
+
+    fn arith(&mut self, is_float: bool, count: f64) {
+        if is_float {
+            self.flops += count * self.scale;
+        } else {
+            self.iops += count * self.scale;
+        }
+    }
+
+    fn begin_scale(&mut self, factor: f64) {
+        self.scale_stack.push(self.scale);
+        self.scale *= factor;
+    }
+
+    fn end_scale(&mut self) {
+        self.scale = self.scale_stack.pop().unwrap_or(1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_scale_in_regions() {
+        let mut t = TracingTracer::new();
+        t.arith(true, 1.0);
+        t.begin_scale(10.0);
+        t.arith(true, 1.0);
+        t.begin_scale(2.0);
+        t.arith(false, 1.0);
+        t.end_scale();
+        t.end_scale();
+        t.arith(false, 1.0);
+        assert_eq!(t.flops, 11.0); // 1 + 10
+        assert_eq!(t.iops, 21.0); // 20 + 1
+    }
+
+    #[test]
+    fn site_prefix_capped() {
+        let mut t = TracingTracer::new();
+        for i in 0..100 {
+            t.load(7, BufferId(0), i, 4);
+        }
+        let s = &t.sites[&7];
+        assert_eq!(s.count, 100.0);
+        assert_eq!(s.prefix.len(), PREFIX_LEN);
+        assert_eq!(s.prefix[3], 3);
+        assert!(!s.is_store);
+    }
+
+    #[test]
+    fn load_then_store_marks_store() {
+        let mut t = TracingTracer::new();
+        t.load(1, BufferId(0), 0, 4);
+        t.store(1, BufferId(0), 0, 4);
+        assert!(t.sites[&1].is_store);
+        assert_eq!(t.total_accesses(), 2.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! The OpenCL NDRange: global/local sizes per dimension.
+
+/// An N-dimensional index space (N ≤ 3), mirroring the arguments of
+/// `clEnqueueNDRangeKernel`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NdRange {
+    pub work_dim: usize,
+    pub global: [usize; 3],
+    pub local: [usize; 3],
+    pub offset: [usize; 3],
+}
+
+impl NdRange {
+    /// 1-D range. `global` must be a multiple of `local`.
+    pub fn d1(global: usize, local: usize) -> Self {
+        NdRange {
+            work_dim: 1,
+            global: [global, 1, 1],
+            local: [local, 1, 1],
+            offset: [0, 0, 0],
+        }
+    }
+
+    /// 2-D range. Each global size must be a multiple of its local size.
+    pub fn d2(global: [usize; 2], local: [usize; 2]) -> Self {
+        NdRange {
+            work_dim: 2,
+            global: [global[0], global[1], 1],
+            local: [local[0], local[1], 1],
+            offset: [0, 0, 0],
+        }
+    }
+
+    /// The same range with a global offset (OpenCL's `global_work_offset`).
+    pub fn with_offset(mut self, offset: [usize; 3]) -> Self {
+        self.offset = offset;
+        self
+    }
+
+    /// Total number of work-items.
+    pub fn global_size(&self) -> usize {
+        self.global[..self.work_dim].iter().product()
+    }
+
+    /// Work-items per work-group.
+    pub fn local_size(&self) -> usize {
+        self.local[..self.work_dim].iter().product()
+    }
+
+    /// Number of work-groups.
+    pub fn num_groups(&self) -> usize {
+        (0..self.work_dim)
+            .map(|d| self.global[d] / self.local[d].max(1))
+            .product()
+    }
+
+    /// Work-groups along dimension `d`.
+    pub fn groups_in_dim(&self, d: usize) -> usize {
+        if d < self.work_dim {
+            self.global[d] / self.local[d].max(1)
+        } else {
+            1
+        }
+    }
+
+    /// Validate that every global size divides evenly into work-groups and
+    /// that no dimension is zero.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.work_dim == 0 || self.work_dim > 3 {
+            return Err(format!("work_dim must be 1..=3, got {}", self.work_dim));
+        }
+        for d in 0..self.work_dim {
+            if self.global[d] == 0 || self.local[d] == 0 {
+                return Err(format!("dimension {} has zero size", d));
+            }
+            if !self.global[d].is_multiple_of(self.local[d]) {
+                return Err(format!(
+                    "global size {} not divisible by local size {} in dimension {}",
+                    self.global[d], self.local[d], d
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Decompose a linear work-group index (row-major over group grid, with
+    /// dimension 0 fastest) into per-dimension group ids.
+    pub fn group_coords(&self, linear: usize) -> [usize; 3] {
+        let g0 = self.groups_in_dim(0);
+        let g1 = self.groups_in_dim(1);
+        [linear % g0, (linear / g0) % g1, linear / (g0 * g1)]
+    }
+
+    /// Decompose a linear local index into per-dimension local ids
+    /// (dimension 0 fastest, matching OpenCL's linearization).
+    pub fn local_coords(&self, linear: usize) -> [usize; 3] {
+        let l0 = self.local[0];
+        let l1 = self.local[1];
+        [linear % l0, (linear / l0) % l1, linear / (l0 * l1)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_dim_counts() {
+        let r = NdRange::d1(16384, 256);
+        assert_eq!(r.global_size(), 16384);
+        assert_eq!(r.local_size(), 256);
+        assert_eq!(r.num_groups(), 64);
+        r.validate().unwrap();
+    }
+
+    #[test]
+    fn two_dim_counts() {
+        let r = NdRange::d2([8192, 8192], [16, 16]);
+        assert_eq!(r.global_size(), 8192 * 8192);
+        assert_eq!(r.local_size(), 256);
+        assert_eq!(r.num_groups(), 512 * 512);
+        r.validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_ranges_rejected() {
+        let r = NdRange::d1(100, 64);
+        assert!(r.validate().is_err());
+        let r = NdRange { work_dim: 0, global: [1; 3], local: [1; 3], offset: [0; 3] };
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn with_offset_sets_offset() {
+        let r = NdRange::d1(64, 16).with_offset([100, 0, 0]);
+        assert_eq!(r.offset, [100, 0, 0]);
+        r.validate().unwrap();
+    }
+
+    #[test]
+    fn group_and_local_coords_roundtrip() {
+        let r = NdRange::d2([64, 32], [8, 4]);
+        // group grid: 8 x 8
+        assert_eq!(r.group_coords(0), [0, 0, 0]);
+        assert_eq!(r.group_coords(9), [1, 1, 0]);
+        // local linearization: dim0 fastest
+        assert_eq!(r.local_coords(0), [0, 0, 0]);
+        assert_eq!(r.local_coords(8), [0, 1, 0]);
+        assert_eq!(r.local_coords(11), [3, 1, 0]);
+    }
+}

@@ -1,0 +1,182 @@
+//! Hardware descriptions of the simulated integrated architectures.
+//!
+//! Two presets mirror the paper's evaluation machines (Section 8.1):
+//! an AMD A10-7850K "Kaveri" APU and an Intel i7-6700 "Skylake" with Gen9
+//! graphics. The numbers are public datasheet values; the behavioural
+//! constants (cache model, launch latency, MLP) are calibrated so the
+//! motivation figures of the paper reproduce (see `cost.rs`).
+
+/// CPU-device parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuConfig {
+    /// Number of cores (= OpenCL compute units on the CPU device).
+    pub cores: usize,
+    /// Core clock in GHz.
+    pub freq_ghz: f64,
+    /// Sustained scalar integer operations per cycle per core.
+    pub ipc_int: f64,
+    /// Sustained scalar float operations per cycle per core (SIMD folded in).
+    pub ipc_float: f64,
+    /// Per-core share of DRAM bandwidth achievable by one core (GB/s),
+    /// limited by load/store queues and MLP — a single CPU core cannot
+    /// saturate the memory controller.
+    pub per_core_bw_gbs: f64,
+    /// Effective private cache per core in bytes (L1+L2); reuse whose
+    /// footprint fits here is free.
+    pub private_cache_bytes: usize,
+}
+
+/// GPU-device parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuConfig {
+    /// Number of compute units.
+    pub cus: usize,
+    /// Processing elements per CU.
+    pub pes_per_cu: usize,
+    /// Wavefront width (threads executing in lockstep).
+    pub wavefront: usize,
+    /// GPU clock in GHz.
+    pub freq_ghz: f64,
+    /// Operations per cycle per active PE.
+    pub ops_per_cycle: f64,
+    /// Relative cost multiplier for integer ops on the GPU (GPUs favour
+    /// float; >1 means int is slower).
+    pub int_cost_factor: f64,
+    /// Shared GPU L2 capacity in bytes.
+    pub l2_bytes: usize,
+    /// Memory transaction (cache line) size in bytes.
+    pub line_bytes: usize,
+    /// Per-thread share of bandwidth achievable (GB/s) — the latency/MLP
+    /// ceiling: `gpu_bw_cap = min(max_bw, active_threads * per_thread_bw)`.
+    pub per_thread_bw_gbs: f64,
+    /// Device-level ceiling on sustained DRAM bandwidth (GB/s). A single
+    /// agent cannot saturate a shared memory controller; co-execution can
+    /// exceed either device's solo ceiling — one of the reasons CPU+GPU
+    /// beats both single-device modes on memory-bound kernels.
+    pub max_bw_gbs: f64,
+    /// Fixed host→GPU dispatch latency per `EnqueueKernel` in seconds.
+    pub launch_latency_s: f64,
+}
+
+/// Shared memory-system parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemConfig {
+    /// Peak DRAM bandwidth shared by CPU and GPU (GB/s).
+    pub dram_bw_gbs: f64,
+    /// True if the platform has a last-level cache shared between CPU and
+    /// GPU (Intel); it absorbs part of the traffic of *both* devices.
+    pub shared_llc: bool,
+    /// Shared LLC capacity in bytes (only used when `shared_llc`).
+    pub llc_bytes: usize,
+}
+
+/// A complete integrated-architecture description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformConfig {
+    pub name: String,
+    pub cpu: CpuConfig,
+    pub gpu: GpuConfig,
+    pub mem: MemConfig,
+}
+
+impl PlatformConfig {
+    /// AMD A10-7850K (Kaveri): 4 Steamroller cores @ 3.7 GHz + GCN GPU with
+    /// 8 CUs x 64 PEs @ 720 MHz, dual-channel DDR3-2133 (~25.6 GB/s peak,
+    /// ~60% sustained), no CPU/GPU shared LLC.
+    pub fn kaveri() -> Self {
+        PlatformConfig {
+            name: "Kaveri".to_string(),
+            cpu: CpuConfig {
+                cores: 4,
+                freq_ghz: 3.7,
+                ipc_int: 2.0,
+                ipc_float: 4.0,
+                per_core_bw_gbs: 2.6,
+                private_cache_bytes: 2 * 1024 * 1024,
+            },
+            gpu: GpuConfig {
+                cus: 8,
+                pes_per_cu: 64,
+                wavefront: 64,
+                freq_ghz: 0.72,
+                ops_per_cycle: 1.0,
+                int_cost_factor: 2.0,
+                l2_bytes: 512 * 1024,
+                line_bytes: 64,
+                per_thread_bw_gbs: 0.09,
+                max_bw_gbs: 12.0,
+                launch_latency_s: 25e-6,
+            },
+            mem: MemConfig {
+                dram_bw_gbs: 15.0,
+                shared_llc: false,
+                llc_bytes: 0,
+            },
+        }
+    }
+
+    /// Intel i7-6700 (Skylake): 4 cores / 8 threads @ 3.4 GHz + Gen9 HD 530
+    /// GPU with 24 CUs x 32 PEs @ 1.15 GHz, dual-channel DDR4-2133
+    /// (~34 GB/s peak), 8 MiB LLC *shared* between CPU and GPU — the reason
+    /// co-execution with all resources behaves much better on Intel
+    /// (paper Table 6 discussion).
+    pub fn skylake() -> Self {
+        PlatformConfig {
+            name: "Skylake".to_string(),
+            cpu: CpuConfig {
+                cores: 8, // hardware threads; the paper's CPU DoP axis is 0,2,4,6,8
+                freq_ghz: 3.4,
+                ipc_int: 2.5,
+                ipc_float: 5.0,
+                per_core_bw_gbs: 2.4,
+                private_cache_bytes: 1024 * 1024,
+            },
+            gpu: GpuConfig {
+                cus: 24,
+                pes_per_cu: 32,
+                wavefront: 32,
+                freq_ghz: 1.15,
+                ops_per_cycle: 1.0,
+                int_cost_factor: 1.6,
+                l2_bytes: 768 * 1024,
+                line_bytes: 64,
+                per_thread_bw_gbs: 0.055,
+                max_bw_gbs: 18.0,
+                launch_latency_s: 15e-6,
+            },
+            mem: MemConfig {
+                dram_bw_gbs: 22.0,
+                shared_llc: true,
+                llc_bytes: 8 * 1024 * 1024,
+            },
+        }
+    }
+
+    /// Total number of GPU threads (PEs) on the device.
+    pub fn gpu_threads(&self) -> usize {
+        self.gpu.cus * self.gpu.pes_per_cu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kaveri_matches_paper_headline_numbers() {
+        let p = PlatformConfig::kaveri();
+        assert_eq!(p.cpu.cores, 4);
+        assert_eq!(p.gpu_threads(), 512); // 8 CUs x 64 PEs
+        assert_eq!(p.gpu.wavefront, 64);
+        assert!(!p.mem.shared_llc);
+    }
+
+    #[test]
+    fn skylake_matches_paper_headline_numbers() {
+        let p = PlatformConfig::skylake();
+        assert_eq!(p.cpu.cores, 8);
+        assert_eq!(p.gpu_threads(), 768); // 24 CUs x 32 PEs
+        assert!(p.mem.shared_llc);
+        assert!(p.mem.dram_bw_gbs > PlatformConfig::kaveri().mem.dram_bw_gbs);
+    }
+}

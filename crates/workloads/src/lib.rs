@@ -1,0 +1,120 @@
+//! `workloads` — every kernel the Dopia paper trains on or evaluates.
+//!
+//! * [`synthetic`] — the parameterizable workload of Table 2 (`αmat βd γc
+//!   δT εR θC`, work-item dimension, data type) and the full 1,224-point
+//!   training grid of Table 4 (17 access patterns x 72 configurations).
+//! * [`polybench`] — the twelve data-intensive Polybench kernels (2DCONV,
+//!   ATAX1–2, BICG1–2, FDTD1–3, GESUMMV, MVT1–2, SYR2K) plus GEMM (listed
+//!   in the paper's prose).
+//! * [`spmv`] — CSR sparse matrix-vector multiplication.
+//! * [`pagerank`] — the iterative PageRank kernel.
+//! * [`data`] — seeded input generation (dense matrices, CSR structures).
+//!
+//! Every builder returns a [`BuiltKernel`]: compiled kernel + bound
+//! arguments + NDRange, ready for `sim::Engine`. Inputs at paper scale use
+//! virtual buffers (deterministic, storage-less); correctness tests build
+//! small real-buffer instances and compare against the Rust reference
+//! implementations included here.
+
+pub mod data;
+pub mod pagerank;
+pub mod polybench;
+pub mod spmv;
+pub mod synthetic;
+
+use sim::{ArgValue, Memory, NdRange};
+
+/// A fully-prepared kernel launch.
+#[derive(Debug, Clone)]
+pub struct BuiltKernel {
+    /// Display name, matching the paper's figure labels (e.g. "ATAX2").
+    pub name: String,
+    /// Compiled, semantically-checked kernel.
+    pub kernel: clc::Kernel,
+    /// Bound arguments (buffers live in the `Memory` passed to the builder).
+    pub args: Vec<ArgValue>,
+    /// Launch geometry.
+    pub nd: NdRange,
+}
+
+impl BuiltKernel {
+    /// Compile `source` (must contain exactly one kernel) and bundle it.
+    pub fn from_source(
+        name: impl Into<String>,
+        source: &str,
+        args: Vec<ArgValue>,
+        nd: NdRange,
+    ) -> Self {
+        let program = clc::compile(source)
+            .unwrap_or_else(|e| panic!("workload kernel failed to compile: {}\n{}", e, source));
+        assert_eq!(program.kernels.len(), 1, "expected exactly one kernel");
+        BuiltKernel {
+            name: name.into(),
+            kernel: program.kernels.into_iter().next().unwrap(),
+            args,
+            nd,
+        }
+    }
+
+    /// View as a `sim` launch spec.
+    pub fn spec(&self) -> sim::engine::LaunchSpec<'_> {
+        sim::engine::LaunchSpec { kernel: &self.kernel, args: &self.args, nd: self.nd }
+    }
+}
+
+/// The fourteen real-world kernels of paper Table 4, built at paper-scale
+/// problem sizes with the given work-group *variant* (0 = small: 64 / 8x8,
+/// 1 = large: 256 / 16x16). 2DCONV, FDTD and SYR2K are two-dimensional.
+pub fn real_world_suite(mem: &mut Memory, wg_variant: usize) -> Vec<BuiltKernel> {
+    let (wg1, wg2) = match wg_variant {
+        0 => (64usize, [8usize, 8usize]),
+        _ => (256, [16, 16]),
+    };
+    let n = 16384;
+    vec![
+        polybench::conv2d(mem, 8192, wg2),
+        polybench::atax1(mem, n, wg1),
+        polybench::atax2(mem, n, wg1),
+        polybench::bicg1(mem, n, wg1),
+        polybench::bicg2(mem, n, wg1),
+        polybench::fdtd1(mem, n, wg2),
+        polybench::fdtd2(mem, n, wg2),
+        polybench::fdtd3(mem, n, wg2),
+        polybench::gesummv(mem, n, wg1),
+        polybench::mvt1(mem, n, wg1),
+        polybench::mvt2(mem, n, wg1),
+        polybench::syr2k(mem, 1024, wg2),
+        pagerank::pagerank(mem, n, wg1),
+        spmv::spmv_csr(mem, n, wg1),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_fourteen_kernels_and_paper_names() {
+        let mut mem = Memory::new();
+        let suite = real_world_suite(&mut mem, 1);
+        assert_eq!(suite.len(), 14);
+        let names: Vec<&str> = suite.iter().map(|b| b.name.as_str()).collect();
+        for expected in [
+            "2DCONV", "ATAX1", "ATAX2", "BICG1", "BICG2", "FDTD1", "FDTD2", "FDTD3",
+            "Gesummv", "MVT1", "MVT2", "SYR2K", "PageRank", "SpMV",
+        ] {
+            assert!(names.contains(&expected), "missing {}", expected);
+        }
+    }
+
+    #[test]
+    fn both_work_group_variants_validate() {
+        for variant in [0, 1] {
+            let mut mem = Memory::new();
+            for b in real_world_suite(&mut mem, variant) {
+                b.nd.validate().unwrap_or_else(|e| panic!("{}: {}", b.name, e));
+                assert_eq!(b.args.len(), b.kernel.params.len(), "{}", b.name);
+            }
+        }
+    }
+}

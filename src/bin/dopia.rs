@@ -1,0 +1,426 @@
+//! `dopia` — command-line driver: run an OpenCL kernel file through the
+//! full Dopia pipeline and report the decision and simulated execution.
+//!
+//! ```text
+//! dopia run kernel.cl [--kernel NAME] [--platform kaveri|skylake]
+//!                     [--model PATH] [--n N] [--global N[,M]] [--local N[,M]]
+//!                     [--arg name=value]... [-D name[=value]]...
+//!                     [--compare] [--show-malleable] [--show-cpu]
+//! dopia sweep kernel.cl [same options as run]
+//! dopia inspect kernel.cl [-D name[=value]]...
+//! ```
+//!
+//! `run` binds arguments automatically: pointer parameters get buffers of
+//! `--n` elements (float buffers virtual, int buffers pseudo-random),
+//! scalar int parameters default to `--n`, scalar floats to 1.0 — all
+//! overridable per parameter with `--arg`. Without `--model` a
+//! DecisionTree is trained on a sub-grid at startup (a few seconds);
+//! production deployments pass a model from `train_model`.
+
+use dopia::prelude::*;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => run(&args[1..], false),
+        Some("sweep") => run(&args[1..], true),
+        Some("inspect") => inspect(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            usage();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command `{}`\n", other);
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "dopia — online parallelism management for integrated CPU/GPU architectures
+
+USAGE:
+  dopia run <kernel.cl> [options]     compile, predict DoP, co-execute (simulated)
+  dopia sweep <kernel.cl> [options]   print the kernel's full 44-config DoP heatmap
+  dopia inspect <kernel.cl>           show features, malleable rewrite, CPU code
+
+OPTIONS (run):
+  --kernel NAME        kernel to launch (default: the first in the file)
+  --platform P         kaveri (default) or skylake
+  --model PATH         trained model file (default: train a DT at startup)
+  --n N                problem scale: default buffer length & int-arg value (default 16384)
+  --global N[,M]       NDRange global size (default: --n)
+  --local N[,M]        work-group size (default: 256 or 16,16)
+  --arg name=value     override one kernel argument by parameter name
+  -D name[=value]      preprocessor definition (clBuildProgram -D)
+  --compare            also report CPU / GPU / ALL baselines and the oracle
+  --show-malleable     print the malleable GPU rewrite
+  --show-cpu           print the generated CPU code"
+    );
+}
+
+struct Options {
+    file: String,
+    kernel: Option<String>,
+    platform: String,
+    model: Option<String>,
+    n: usize,
+    global: Option<Vec<usize>>,
+    local: Option<Vec<usize>>,
+    args: Vec<(String, String)>,
+    defines: Vec<(String, String)>,
+    compare: bool,
+    show_malleable: bool,
+    show_cpu: bool,
+}
+
+fn parse_options(argv: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        file: String::new(),
+        kernel: None,
+        platform: "kaveri".into(),
+        model: None,
+        n: 16384,
+        global: None,
+        local: None,
+        args: Vec::new(),
+        defines: Vec::new(),
+        compare: false,
+        show_malleable: false,
+        show_cpu: false,
+    };
+    let mut it = argv.iter().peekable();
+    let mut value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
+                     flag: &str|
+     -> Result<String, String> {
+        it.next().cloned().ok_or_else(|| format!("{} needs a value", flag))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--kernel" => opts.kernel = Some(value(&mut it, a)?),
+            "--platform" => opts.platform = value(&mut it, a)?,
+            "--model" => opts.model = Some(value(&mut it, a)?),
+            "--n" => {
+                opts.n = value(&mut it, a)?.parse().map_err(|e| format!("--n: {}", e))?;
+            }
+            "--global" => opts.global = Some(parse_dims(&value(&mut it, a)?)?),
+            "--local" => opts.local = Some(parse_dims(&value(&mut it, a)?)?),
+            "--arg" => {
+                let v = value(&mut it, a)?;
+                let (k, val) = v
+                    .split_once('=')
+                    .ok_or_else(|| format!("--arg expects name=value, got `{}`", v))?;
+                opts.args.push((k.to_string(), val.to_string()));
+            }
+            "-D" => {
+                let v = value(&mut it, a)?;
+                match v.split_once('=') {
+                    Some((k, val)) => opts.defines.push((k.to_string(), val.to_string())),
+                    None => opts.defines.push((v, String::new())),
+                }
+            }
+            "--compare" => opts.compare = true,
+            "--show-malleable" => opts.show_malleable = true,
+            "--show-cpu" => opts.show_cpu = true,
+            other if opts.file.is_empty() && !other.starts_with('-') => {
+                opts.file = other.to_string();
+            }
+            other => return Err(format!("unknown option `{}`", other)),
+        }
+    }
+    if opts.file.is_empty() {
+        return Err("no kernel file given".into());
+    }
+    Ok(opts)
+}
+
+fn parse_dims(s: &str) -> Result<Vec<usize>, String> {
+    s.split(',')
+        .map(|p| p.trim().parse().map_err(|e| format!("bad dimension `{}`: {}", p, e)))
+        .collect()
+}
+
+fn engine_for(platform: &str) -> Result<Engine, String> {
+    match platform.to_lowercase().as_str() {
+        "kaveri" => Ok(Engine::kaveri()),
+        "skylake" => Ok(Engine::skylake()),
+        other => Err(format!("unknown platform `{}` (kaveri or skylake)", other)),
+    }
+}
+
+fn fail(e: impl std::fmt::Display) -> ExitCode {
+    eprintln!("error: {}", e);
+    ExitCode::FAILURE
+}
+
+fn run(argv: &[String], sweep: bool) -> ExitCode {
+    let opts = match parse_options(argv) {
+        Ok(o) => o,
+        Err(e) => return fail(e),
+    };
+    let source = match std::fs::read_to_string(&opts.file) {
+        Ok(s) => s,
+        Err(e) => return fail(format!("{}: {}", opts.file, e)),
+    };
+    let engine = match engine_for(&opts.platform) {
+        Ok(e) => e,
+        Err(e) => return fail(e),
+    };
+    let model = match &opts.model {
+        Some(path) => match PerfModel::load(std::path::Path::new(path)) {
+            Ok(m) => m,
+            Err(e) => return fail(e),
+        },
+        None => {
+            eprintln!("no --model given; training a DecisionTree on a sub-grid...");
+            let (data, _) = training::tiny_training_set(&engine);
+            PerfModel::train(ModelKind::Dt, &data, 42)
+        }
+    };
+    let platform_name = engine.platform.name.clone();
+    let dopia = Dopia::new(engine, model);
+    let program = match dopia.create_program_with_options(&source, &opts.defines) {
+        Ok(p) => p,
+        Err(e) => return fail(e),
+    };
+    if program.kernels.is_empty() {
+        return fail("source contains no kernels");
+    }
+    let prepared = match &opts.kernel {
+        Some(name) => match program.kernel(name) {
+            Some(k) => k,
+            None => return fail(format!("no kernel named `{}`", name)),
+        },
+        None => &program.kernels[0],
+    };
+    println!("kernel   : {} ({} params)", prepared.original.name, prepared.original.params.len());
+    println!("platform : {}", platform_name);
+    println!("features : {:?}", prepared.features);
+    if opts.show_malleable {
+        println!("\n--- malleable GPU kernel ---\n{}", clc::printer::print_kernel(&prepared.malleable_1d));
+    }
+    if opts.show_cpu {
+        println!("\n--- generated CPU code ---\n{}", prepared.cpu_source_1d);
+    }
+
+    // NDRange.
+    let global = opts.global.clone().unwrap_or_else(|| vec![opts.n]);
+    let local = opts.local.clone().unwrap_or_else(|| {
+        if global.len() == 1 {
+            vec![256]
+        } else {
+            vec![16, 16]
+        }
+    });
+    let nd = match (global.as_slice(), local.as_slice()) {
+        ([g], [l]) => NdRange::d1(*g, *l),
+        ([g0, g1], [l0, l1]) => NdRange::d2([*g0, *g1], [*l0, *l1]),
+        _ => return fail("--global/--local must both be 1-D or both 2-D"),
+    };
+    if let Err(e) = nd.validate() {
+        return fail(e);
+    }
+
+    // Auto-bind arguments.
+    let mut mem = Memory::new();
+    let mut args: Vec<ArgValue> = Vec::new();
+    for (idx, param) in prepared.original.params.iter().enumerate() {
+        let overridden = opts.args.iter().find(|(k, _)| *k == param.name).map(|(_, v)| v);
+        let value = match (&param.ty, overridden) {
+            (clc::Type::Ptr { elem, .. }, len) => {
+                let elems: usize = match len {
+                    Some(v) => match v.parse() {
+                        Ok(n) => n,
+                        Err(e) => return fail(format!("--arg {}: {}", param.name, e)),
+                    },
+                    None => opts.n,
+                };
+                if elem.is_float() {
+                    ArgValue::Buffer(mem.alloc_virtual_f32(elems, 0xC11 + idx as u64))
+                } else {
+                    ArgValue::Buffer(mem.alloc_i32(
+                        workloads::data::random_i32(elems, elems.max(1) as i32, 0xC11 + idx as u64),
+                    ))
+                }
+            }
+            (clc::Type::Scalar(s), v) if s.is_float() => {
+                let value: f32 = match v {
+                    Some(v) => match v.parse() {
+                        Ok(x) => x,
+                        Err(e) => return fail(format!("--arg {}: {}", param.name, e)),
+                    },
+                    None => 1.0,
+                };
+                ArgValue::Float(value)
+            }
+            (clc::Type::Scalar(_), v) => {
+                let value: i64 = match v {
+                    Some(v) => match v.parse() {
+                        Ok(x) => x,
+                        Err(e) => return fail(format!("--arg {}: {}", param.name, e)),
+                    },
+                    None => opts.n as i64,
+                };
+                ArgValue::Int(value)
+            }
+            (clc::Type::Void, _) => return fail("void parameter"),
+        };
+        args.push(value);
+    }
+
+    if sweep {
+        return print_sweep(&dopia, prepared, &args, nd, &mut mem);
+    }
+
+    // Launch.
+    let result = match dopia.enqueue_nd_range_kernel(&program, &prepared.original.name, &args, nd, &mut mem) {
+        Ok(r) => r,
+        Err(e) => return fail(e),
+    };
+    println!("\ndecision : {} CPU cores + {}/8 GPU ({} µs inference)",
+        result.selection.point.cpu_cores,
+        result.selection.point.gpu_eighths,
+        (result.selection.inference_s * 1e6).round());
+    println!(
+        "execution: {:.3} ms simulated ({} groups CPU / {} GPU, {:.2}M memory requests)",
+        result.kernel_time_s * 1e3,
+        result.report.cpu_groups,
+        result.report.gpu_groups,
+        result.report.mem_requests / 1e6
+    );
+
+    if opts.compare {
+        let profile = match dopia.profile(prepared, &args, nd, &mut mem) {
+            Ok(p) => p,
+            Err(e) => return fail(e),
+        };
+        let mut oracle_time = f64::INFINITY;
+        for point in dopia.space() {
+            let t = dopia
+                .engine()
+                .simulate(&profile, &nd, point.dop(), Schedule::Dynamic { chunk_divisor: 10 }, true)
+                .time_s;
+            oracle_time = oracle_time.min(t);
+        }
+        println!("\n             time        vs oracle");
+        for b in Baseline::all() {
+            let r = baselines::simulate_baseline(dopia.engine(), &profile, &nd, b);
+            println!("  {:<10} {:>9.3} ms  {:>5.1}%", b.label(), r.time_s * 1e3, 100.0 * oracle_time / r.time_s);
+        }
+        println!("  {:<10} {:>9.3} ms  {:>5.1}%", "Dopia", result.total_time_s * 1e3, 100.0 * oracle_time / result.total_time_s);
+        println!("  {:<10} {:>9.3} ms  100.0%", "Exhaustive", oracle_time * 1e3);
+    }
+    ExitCode::SUCCESS
+}
+
+/// The `sweep` subcommand body: simulate every DoP point and print the
+/// normalized heatmap plus the model's pick.
+fn print_sweep(
+    dopia: &Dopia,
+    prepared: &dopia::core::runtime::PreparedKernel,
+    args: &[ArgValue],
+    nd: NdRange,
+    mem: &mut Memory,
+) -> ExitCode {
+    let profile = match dopia.profile(prepared, args, nd, mem) {
+        Ok(p) => p,
+        Err(e) => return fail(e),
+    };
+    let max_cores = dopia.engine().platform.cpu.cores;
+    let sched = Schedule::Dynamic { chunk_divisor: 10 };
+    let mut times: Vec<Vec<f64>> = vec![vec![f64::NAN; 5]; 9];
+    let mut best = f64::INFINITY;
+    let cpu_levels: Vec<usize> = (0..=4).map(|l| max_cores * l / 4).collect();
+    for (gi, row) in times.iter_mut().enumerate() {
+        for (ci, cell) in row.iter_mut().enumerate() {
+            let (cpu, g) = (cpu_levels[ci], gi);
+            if cpu == 0 && g == 0 {
+                continue;
+            }
+            let t = dopia
+                .engine()
+                .simulate(
+                    &profile,
+                    &nd,
+                    sim::engine::DopConfig { cpu_cores: cpu, gpu_frac: g as f64 / 8.0 },
+                    sched,
+                    true,
+                )
+                .time_s;
+            *cell = t;
+            best = best.min(t);
+        }
+    }
+    println!("
+normalized performance (best = 1.00); rows GPU eighths, cols CPU cores");
+    print!("{:>8}", "GPU/CPU");
+    for &cpu in &cpu_levels {
+        print!("{:>7}", cpu);
+    }
+    println!();
+    for gi in (0..9).rev() {
+        print!("{:>8}", format!("{}/8", gi));
+        for ci in 0..5 {
+            let t = times[gi][ci];
+            if t.is_nan() {
+                print!("{:>7}", "-");
+            } else {
+                print!("{:>7.2}", best / t);
+            }
+        }
+        println!();
+    }
+    let sel = dopia.model().select_config(
+        prepared.features,
+        nd.work_dim,
+        nd.global_size(),
+        nd.local_size(),
+        dopia.space(),
+    );
+    println!(
+        "
+model pick: {} CPU + {}/8 GPU -> {:.2} of best",
+        sel.point.cpu_cores,
+        sel.point.gpu_eighths,
+        best / times[sel.point.gpu_eighths]
+            [cpu_levels.iter().position(|&c| c == sel.point.cpu_cores).unwrap_or(0)]
+    );
+    ExitCode::SUCCESS
+}
+
+fn inspect(argv: &[String]) -> ExitCode {
+    let opts = match parse_options(argv) {
+        Ok(o) => o,
+        Err(e) => return fail(e),
+    };
+    let source = match std::fs::read_to_string(&opts.file) {
+        Ok(s) => s,
+        Err(e) => return fail(format!("{}: {}", opts.file, e)),
+    };
+    let engine = Engine::kaveri();
+    // `inspect` needs no model; build a trivial constant regressor.
+    struct Zero;
+    impl ml::Regressor for Zero {
+        fn predict(&self, _: &[f64]) -> f64 {
+            0.0
+        }
+        fn name(&self) -> &'static str {
+            "zero"
+        }
+    }
+    let dopia = Dopia::new(engine, PerfModel::from_regressor(ModelKind::Dt, Box::new(Zero)));
+    let program = match dopia.create_program_with_options(&source, &opts.defines) {
+        Ok(p) => p,
+        Err(e) => return fail(e),
+    };
+    for k in &program.kernels {
+        println!("=== kernel `{}` ===", k.original.name);
+        println!("features: {:?}\n", k.features);
+        println!("--- malleable GPU rewrite (1-D) ---\n{}", clc::printer::print_kernel(&k.malleable_1d));
+        println!("--- generated CPU code (1-D) ---\n{}", k.cpu_source_1d);
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,97 @@
+//! Integration of the offline training pipeline: grid measurement →
+//! dataset → model → selection quality, on a reduced grid.
+
+use dopia::prelude::*;
+use dopia_core::configs;
+use dopia_core::training::{self, TrainingOptions};
+use workloads::synthetic::SyntheticParams;
+
+fn reduced_grid(step: usize) -> Vec<SyntheticParams> {
+    workloads::synthetic::training_grid().into_iter().step_by(step).collect()
+}
+
+#[test]
+fn trained_model_beats_static_baselines_in_aggregate() {
+    let engine = Engine::kaveri();
+    let space = configs::config_space(&engine.platform);
+    let grid = reduced_grid(30); // ~41 workloads
+    let records = training::run_grid(&engine, &grid, &space, &TrainingOptions::default());
+
+    // Hold out every 5th workload; train on the rest.
+    let (test_idx, train_idx): (Vec<usize>, Vec<usize>) =
+        (0..records.len()).partition(|i| i % 5 == 0);
+    let train_records: Vec<_> = train_idx.iter().map(|&i| records[i].clone()).collect();
+    let dataset = training::dataset_from_records(&train_records, &space);
+    let model = PerfModel::train(ModelKind::Dt, &dataset, 3);
+
+    let max = engine.platform.cpu.cores;
+    let mut dopia_perf = 0.0;
+    let mut base_perf = [0.0f64; 3];
+    for &i in &test_idx {
+        let r = &records[i];
+        let sel = model.select_config(r.code, r.work_dim, r.global_size, r.local_size, &space);
+        dopia_perf += r.normalized_perf(sel.index);
+        for (k, b) in Baseline::all().iter().enumerate() {
+            base_perf[k] += r.normalized_perf(b.config_index(&space, max));
+        }
+    }
+    let n = test_idx.len() as f64;
+    dopia_perf /= n;
+    for b in &mut base_perf {
+        *b /= n;
+    }
+    assert!(
+        base_perf.iter().all(|&b| dopia_perf > b),
+        "dopia {} vs baselines {:?}",
+        dopia_perf,
+        base_perf
+    );
+    assert!(dopia_perf > 0.8, "dopia aggregate {}", dopia_perf);
+}
+
+#[test]
+fn normalized_performance_is_well_formed() {
+    let engine = Engine::skylake();
+    let space = configs::config_space(&engine.platform);
+    let grid = reduced_grid(120);
+    let records = training::run_grid(&engine, &grid, &space, &TrainingOptions::default());
+    for r in &records {
+        assert_eq!(r.times.len(), space.len(), "{}", r.name);
+        let best = r.times[r.best_index];
+        assert!(r.times.iter().all(|&t| t >= best), "{}", r.name);
+        assert!((r.normalized_perf(r.best_index) - 1.0).abs() < 1e-12);
+        // Feature rows must be finite.
+        for p in &space {
+            assert!(r.feature_vector(p).to_row().iter().all(|v| v.is_finite()));
+        }
+    }
+}
+
+#[test]
+fn leave_one_out_excludes_exactly_one_workload() {
+    let engine = Engine::kaveri();
+    let space = configs::config_space(&engine.platform);
+    let grid = reduced_grid(200);
+    let records = training::run_grid(&engine, &grid, &space, &TrainingOptions::default());
+    let full = training::dataset_from_records(&records, &space);
+    let loo = training::dataset_excluding(&records, &space, &records[2].name);
+    assert_eq!(loo.len(), full.len() - space.len());
+}
+
+#[test]
+fn oracle_helpers_are_consistent_with_records() {
+    use dopia_core::oracle;
+    let engine = Engine::kaveri();
+    let space = configs::config_space(&engine.platform);
+    let grid = reduced_grid(300);
+    let records = training::run_grid(&engine, &grid, &space, &TrainingOptions::default());
+    for r in &records {
+        let choice = oracle::oracle_choice(r, &space);
+        assert_eq!(choice.index, r.best_index);
+        assert_eq!(choice.time_s, r.times[r.best_index]);
+        assert_eq!(oracle::euclidean_error(r, &space, r.best_index), 0.0);
+        // Adding overhead always reduces normalized performance.
+        let with_overhead = oracle::time_vs_oracle(r, r.times[r.best_index] * 1.5);
+        assert!((with_overhead - 2.0 / 3.0).abs() < 1e-12);
+    }
+}
