@@ -33,13 +33,34 @@ impl Baseline {
     }
 
     /// The index of this baseline inside the DoP configuration space.
+    ///
+    /// Total function: when the exact point is absent (a caller passing a
+    /// `max_cores` outside the space's levels), the nearest point by
+    /// normalized utilization is returned instead of panicking.
     pub fn config_index(&self, space: &[DopPoint], max_cores: usize) -> usize {
         let (cpu, gpu) = match self {
             Baseline::Cpu => (max_cores, 0),
             Baseline::Gpu => (0, 8),
             Baseline::All => (max_cores, 8),
         };
-        find_config(space, cpu, gpu).expect("baseline point exists in the space")
+        if let Some(i) = find_config(space, cpu, gpu) {
+            return i;
+        }
+        let target = DopPoint {
+            cpu_cores: cpu,
+            gpu_eighths: gpu,
+            cpu_util: if max_cores == 0 { 0.0 } else { cpu as f64 / max_cores as f64 },
+            gpu_util: gpu as f64 / 8.0,
+        };
+        space
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                a.normalized_distance(&target)
+                    .total_cmp(&b.normalized_distance(&target))
+            })
+            .map(|(i, _)| i)
+            .unwrap_or(0)
     }
 }
 
@@ -89,16 +110,20 @@ pub struct BestStatic {
 pub fn best_static_split(engine: &Engine, profile: &KernelProfile, nd: &NdRange) -> BestStatic {
     let max = engine.platform.cpu.cores;
     let dop = DopConfig { cpu_cores: max, gpu_frac: 1.0 };
-    let mut best: Option<BestStatic> = None;
-    for step in 1..=19 {
+    // Seed with the first split so `best` is always initialized — no
+    // unwrap at the end, the loop shape guarantees a result.
+    let first =
+        engine.simulate(profile, nd, dop, Schedule::Static { cpu_fraction: 0.05 }, false);
+    let mut best = BestStatic { cpu_fraction: 0.05, report: first };
+    for step in 2..=19 {
         let f = step as f64 * 0.05;
         let report =
             engine.simulate(profile, nd, dop, Schedule::Static { cpu_fraction: f }, false);
-        if best.as_ref().is_none_or(|b| report.time_s < b.report.time_s) {
-            best = Some(BestStatic { cpu_fraction: f, report });
+        if report.time_s < best.report.time_s {
+            best = BestStatic { cpu_fraction: f, report };
         }
     }
-    best.expect("19 splits evaluated")
+    best
 }
 
 /// Dopia's dynamic distributor at full resources (for the Fig. 9

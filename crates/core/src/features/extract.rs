@@ -156,21 +156,19 @@ impl Walker {
             }
             Stmt::For { init, cond, step, body, .. } => {
                 self.scopes.push(HashMap::new());
+                // Bind the init statement once; `for (;;)` has none and
+                // must flow through with no induction variable.
                 let var = match init.as_deref() {
-                    Some(Stmt::Decl(d)) => {
-                        self.walk_stmt(init.as_deref().unwrap());
-                        Some(d.name.clone())
-                    }
-                    Some(Stmt::Expr(Expr::Assign { target, .. })) => {
-                        self.walk_stmt(init.as_deref().unwrap());
-                        match target.as_ref() {
-                            Expr::Ident { name, .. } => Some(name.clone()),
+                    Some(init_stmt) => {
+                        self.walk_stmt(init_stmt);
+                        match init_stmt {
+                            Stmt::Decl(d) => Some(d.name.clone()),
+                            Stmt::Expr(Expr::Assign { target, .. }) => match target.as_ref() {
+                                Expr::Ident { name, .. } => Some(name.clone()),
+                                _ => None,
+                            },
                             _ => None,
                         }
-                    }
-                    Some(other) => {
-                        self.walk_stmt(other);
-                        None
                     }
                     None => None,
                 };
@@ -618,6 +616,43 @@ mod tests {
         assert_eq!(f.mem_continuous, 2, "{:?}", f); // A load + D store
         assert_eq!(f.mem_stride, 2, "{:?}", f); // B and the inner Bi load
         assert_eq!(f.mem_random, 1, "{:?}", f); // C[Bi[..]]
+    }
+
+    /// Regression: a `for (;;)` with every clause empty (no init, cond or
+    /// step) must extract without panicking — the For arm used to unwrap
+    /// the init statement it matched on.
+    #[test]
+    fn bare_for_loop_extracts_without_panicking() {
+        let f = features(
+            "__kernel void spin(__global int* a, int n) {
+                int i = get_global_id(0);
+                int k = 0;
+                for (;;) {
+                    if (k >= n) { break; }
+                    a[i] = a[i] + k;
+                    k = k + 1;
+                }
+            }",
+        );
+        assert!(f.mem_continuous >= 1, "{:?}", f);
+        assert!(f.arith_int >= 1, "{:?}", f);
+    }
+
+    /// A for-loop whose init is a plain assignment (not a declaration)
+    /// still names the induction variable.
+    #[test]
+    fn assignment_init_for_loop_extracts() {
+        let f = features(
+            "__kernel void sum(__global float* a, __global float* out, int n) {
+                int i;
+                float acc = 0.0f;
+                for (i = 0; i < n; i = i + 1) {
+                    acc = acc + a[i];
+                }
+                out[get_global_id(0)] = acc;
+            }",
+        );
+        assert_eq!(f.mem_continuous, 2, "{:?}", f);
     }
 
     #[test]

@@ -70,5 +70,5 @@ pub use configs::{config_space, DopPoint};
 pub use features::{CodeFeatures, FeatureVector};
 pub use model::PerfModel;
 pub use queue::{CommandQueue, QueueSummary};
-pub use runtime::{Dopia, LaunchResult, Program};
+pub use runtime::{DegradedMode, Dopia, DopiaError, LaunchResult, Program, RuntimeHealth};
 pub use training::TrainingOptions;

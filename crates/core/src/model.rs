@@ -31,11 +31,16 @@ pub struct Selection {
     pub index: usize,
     /// The chosen point.
     pub point: DopPoint,
-    /// Predicted normalized performance at the chosen point.
+    /// Predicted normalized performance at the chosen point (`NaN` when no
+    /// usable prediction existed and the heuristic fallback was taken).
     pub predicted: f64,
     /// Measured wall-clock time of the full 44-point sweep (seconds) —
     /// the model-inference overhead charged to Dopia.
     pub inference_s: f64,
+    /// Whether the point came from the heuristic fallback rather than the
+    /// model (every prediction was NaN/∞/negative, or the kernel was
+    /// degraded and the model never ran).
+    pub fallback: bool,
 }
 
 impl PerfModel {
@@ -68,6 +73,14 @@ impl PerfModel {
     }
 
     /// Sweep the configuration space and select the expected-best point.
+    ///
+    /// Predictions are sanitized: NaN, infinite and negative values (a
+    /// regressor gone numerically wrong — normalized performance lives in
+    /// `(0, 1]`) are discarded rather than compared. If *no* prediction
+    /// survives, the selection falls back to the GPU-only full-DoP
+    /// heuristic — the configuration an unmanaged runtime would use — and
+    /// flags it, so a broken model degrades a launch instead of steering
+    /// it by garbage.
     pub fn select_config(
         &self,
         code: CodeFeatures,
@@ -78,7 +91,7 @@ impl PerfModel {
     ) -> Selection {
         assert!(!space.is_empty());
         let start = Instant::now();
-        let mut best = (0usize, f64::NEG_INFINITY);
+        let mut best: Option<(usize, f64)> = None;
         for (i, point) in space.iter().enumerate() {
             let fv = FeatureVector {
                 code,
@@ -89,12 +102,25 @@ impl PerfModel {
                 gpu_util: point.gpu_util,
             };
             let pred = self.predict(&fv);
-            if pred > best.1 {
-                best = (i, pred);
+            if !pred.is_finite() || pred < 0.0 {
+                continue;
+            }
+            if best.is_none_or(|(_, b)| pred > b) {
+                best = Some((i, pred));
             }
         }
         let inference_s = start.elapsed().as_secs_f64();
-        Selection { index: best.0, point: space[best.0], predicted: best.1, inference_s }
+        let (index, predicted, fallback) = match best {
+            Some((i, p)) => (i, p, false),
+            None => {
+                let i = space
+                    .iter()
+                    .position(|p| p.cpu_util == 0.0 && p.gpu_util >= 1.0)
+                    .unwrap_or(space.len() - 1);
+                (i, f64::NAN, true)
+            }
+        };
+        Selection { index, point: space[index], predicted, inference_s, fallback }
     }
 }
 
@@ -155,6 +181,44 @@ mod tests {
         let model = PerfModel::train(ModelKind::Lin, &data, 2);
         let sel = model.select_config(CodeFeatures::default(), 1, 16384, 256, &space);
         assert_eq!(space[sel.index], sel.point);
+    }
+
+    /// A regressor gone numerically wrong in a configurable way.
+    struct BrokenRegressor(f64);
+
+    impl Regressor for BrokenRegressor {
+        fn predict(&self, _features: &[f64]) -> f64 {
+            self.0
+        }
+
+        fn name(&self) -> &'static str {
+            "broken"
+        }
+    }
+
+    #[test]
+    fn nan_predictions_fall_back_to_gpu_only() {
+        let space = config_space(&PlatformConfig::kaveri());
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -3.0] {
+            let model =
+                PerfModel::from_regressor(ModelKind::Lin, Box::new(BrokenRegressor(bad)));
+            let sel = model.select_config(CodeFeatures::default(), 1, 16384, 256, &space);
+            assert!(sel.fallback, "pred {} must trigger fallback", bad);
+            assert_eq!(sel.point.cpu_cores, 0, "pred {}", bad);
+            assert_eq!(sel.point.gpu_eighths, 8, "pred {}", bad);
+            assert!(sel.predicted.is_nan());
+            assert_eq!(space[sel.index], sel.point);
+        }
+    }
+
+    #[test]
+    fn healthy_predictions_do_not_flag_fallback() {
+        let data = synthetic_dataset();
+        let space = config_space(&PlatformConfig::kaveri());
+        let model = PerfModel::train(ModelKind::Dt, &data, 1);
+        let sel = model.select_config(CodeFeatures::default(), 1, 16384, 256, &space);
+        assert!(!sel.fallback);
+        assert!(sel.predicted.is_finite());
     }
 
     #[test]

@@ -7,8 +7,15 @@
 //! one device context) and aggregates per-launch accounting so an
 //! application sees end-to-end numbers.
 
-use crate::runtime::{Dopia, DopiaError, LaunchResult, Program};
+use crate::runtime::{Dopia, DopiaError, LaunchResult, Program, RuntimeHealth};
 use sim::{ArgValue, Memory, NdRange};
+
+/// Bounded retry for transient errors: how many re-attempts one enqueue
+/// gets before the error is surfaced.
+const MAX_TRANSIENT_RETRIES: u32 = 3;
+/// First retry backoff in simulated seconds; doubles per retry. Charged
+/// to the launch's end-to-end time like any other runtime overhead.
+const RETRY_BACKOFF_BASE_S: f64 = 1e-4;
 
 /// One completed launch in the queue's history.
 #[derive(Debug, Clone)]
@@ -28,6 +35,9 @@ pub struct QueueSummary {
     pub inference_s: f64,
     /// Total end-to-end time (kernel + overhead).
     pub total_time_s: f64,
+    /// Everything the runtime absorbed across the queue's launches
+    /// (fallbacks, retries, degraded launches, watchdog recoveries).
+    pub health: RuntimeHealth,
 }
 
 /// An in-order command queue bound to one [`Dopia`] runtime and one shared
@@ -44,6 +54,12 @@ impl<'d> CommandQueue<'d> {
 
     /// Enqueue a kernel; in-order semantics mean it completes before the
     /// call returns (the simulated clock advances by its total time).
+    ///
+    /// Transient errors (injected faults, busy devices) are retried up to
+    /// [`MAX_TRANSIENT_RETRIES`] times with exponential backoff; the
+    /// backoff is simulated time added to the launch's `total_time_s`, and
+    /// absorbed retries show up in the result's health counters. Permanent
+    /// errors surface immediately.
     pub fn enqueue_nd_range_kernel(
         &mut self,
         program: &Program,
@@ -52,11 +68,27 @@ impl<'d> CommandQueue<'d> {
         nd: NdRange,
         mem: &mut Memory,
     ) -> Result<&QueueEvent, DopiaError> {
-        let result = self
-            .dopia
-            .enqueue_nd_range_kernel(program, kernel_name, args, nd, mem)?;
+        let mut retries = 0u32;
+        let mut backoff_s = 0.0f64;
+        let mut result = loop {
+            match self
+                .dopia
+                .enqueue_nd_range_kernel(program, kernel_name, args, nd, mem)
+            {
+                Ok(r) => break r,
+                Err(e) if e.is_transient() && retries < MAX_TRANSIENT_RETRIES => {
+                    backoff_s += RETRY_BACKOFF_BASE_S * f64::from(1u32 << retries);
+                    retries += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        result.health.transient_retries += retries;
+        result.total_time_s += backoff_s;
+        // Index the slot we are about to fill: total code, no panic path.
+        let slot = self.events.len();
         self.events.push(QueueEvent { kernel: kernel_name.to_string(), result });
-        Ok(self.events.last().expect("just pushed"))
+        Ok(&self.events[slot])
     }
 
     /// All completed launches, in order.
@@ -69,11 +101,17 @@ impl<'d> CommandQueue<'d> {
         let kernel_time_s: f64 = self.events.iter().map(|e| e.result.kernel_time_s).sum();
         let inference_s: f64 =
             self.events.iter().map(|e| e.result.selection.inference_s).sum();
+        let total_time_s: f64 = self.events.iter().map(|e| e.result.total_time_s).sum();
+        let mut health = RuntimeHealth::default();
+        for e in &self.events {
+            health.absorb(&e.result.health);
+        }
         QueueSummary {
             launches: self.events.len(),
             kernel_time_s,
             inference_s,
-            total_time_s: kernel_time_s + inference_s,
+            total_time_s,
+            health,
         }
     }
 

@@ -15,11 +15,13 @@
 //! overhead … is included").
 
 use crate::codegen::{generate_cpu_source, malleable::transform_malleable};
-use crate::configs::{config_space, DopPoint};
+use crate::configs::{config_space, find_config, DopPoint};
 use crate::features::{extract_code_features, CodeFeatures};
 use crate::model::{PerfModel, Selection};
+use sim::fault::FaultPlan;
 use sim::{ArgValue, Engine, KernelProfile, Memory, NdRange, Schedule, SimReport};
 use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Errors surfaced by the runtime.
 #[derive(Debug)]
@@ -29,6 +31,17 @@ pub enum DopiaError {
     Exec(sim::interp::ExecError),
     UnknownKernel(String),
     InvalidLaunch(String),
+    /// A condition a retry may clear (a busy device, an injected transient
+    /// fault). [`DopiaError::is_transient`] returns `true` only for this
+    /// variant, and the queue's bounded retry acts on it.
+    Transient(String),
+}
+
+impl DopiaError {
+    /// Whether retrying the failed operation could succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, DopiaError::Transient(_))
+    }
 }
 
 impl fmt::Display for DopiaError {
@@ -39,11 +52,23 @@ impl fmt::Display for DopiaError {
             DopiaError::Exec(e) => write!(f, "{}", e),
             DopiaError::UnknownKernel(n) => write!(f, "unknown kernel `{}`", n),
             DopiaError::InvalidLaunch(m) => write!(f, "invalid launch: {}", m),
+            DopiaError::Transient(m) => write!(f, "transient failure: {}", m),
         }
     }
 }
 
-impl std::error::Error for DopiaError {}
+impl std::error::Error for DopiaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DopiaError::Compile(e) => Some(e),
+            DopiaError::Transform(e) => Some(e),
+            DopiaError::Exec(e) => Some(e),
+            DopiaError::UnknownKernel(_)
+            | DopiaError::InvalidLaunch(_)
+            | DopiaError::Transient(_) => None,
+        }
+    }
+}
 
 impl From<clc::CompileError> for DopiaError {
     fn from(e: clc::CompileError) -> Self {
@@ -57,6 +82,27 @@ impl From<sim::interp::ExecError> for DopiaError {
     }
 }
 
+/// How much of Dopia's management a prepared kernel supports.
+///
+/// Graceful degradation: a kernel the malleability transform cannot handle
+/// (e.g. `get_global_id` with a non-literal dimension) no longer fails the
+/// whole program build. It is kept launchable in a reduced mode — the
+/// original kernel on the GPU alone, the way an unmanaged OpenCL runtime
+/// would run it — while every other kernel in the program stays fully
+/// managed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DegradedMode {
+    /// Malleable GPU variants and CPU code are available; launches get the
+    /// full model-driven CPU+GPU co-execution.
+    FullyManaged,
+    /// Only the original kernel is usable: launches run GPU-only with a
+    /// single static dispatch and no model selection.
+    GpuOriginalOnly {
+        /// Why the transform rejected the kernel.
+        reason: String,
+    },
+}
+
 /// A kernel after Dopia's compile-time analysis and rewriting.
 #[derive(Debug, Clone)]
 pub struct PreparedKernel {
@@ -64,23 +110,65 @@ pub struct PreparedKernel {
     pub original: clc::Kernel,
     /// Static code features (Table 1, top six rows).
     pub features: CodeFeatures,
-    /// Malleable GPU variant for 1-D launches (Fig. 5).
-    pub malleable_1d: clc::Kernel,
-    /// Malleable GPU variant for 2-D launches (Fig. 6).
-    pub malleable_2d: clc::Kernel,
+    /// Whether the kernel is fully managed or degraded.
+    pub degraded_mode: DegradedMode,
+    /// Malleable GPU variant for 1-D launches (Fig. 5); `None` when
+    /// degraded.
+    pub malleable_1d: Option<clc::Kernel>,
+    /// Malleable GPU variant for 2-D launches (Fig. 6); `None` when
+    /// degraded.
+    pub malleable_2d: Option<clc::Kernel>,
     /// Generated CPU code (Fig. 7), 1-D and 2-D.
     pub cpu_source_1d: String,
     pub cpu_source_2d: String,
 }
 
 impl PreparedKernel {
-    /// The malleable variant for a launch dimensionality.
-    pub fn malleable(&self, work_dim: usize) -> &clc::Kernel {
+    /// The malleable variant for a launch dimensionality (`None` when the
+    /// kernel is degraded to [`DegradedMode::GpuOriginalOnly`]).
+    pub fn malleable(&self, work_dim: usize) -> Option<&clc::Kernel> {
         if work_dim == 1 {
-            &self.malleable_1d
+            self.malleable_1d.as_ref()
         } else {
-            &self.malleable_2d
+            self.malleable_2d.as_ref()
         }
+    }
+
+    /// Whether launches of this kernel run in a reduced mode.
+    pub fn is_degraded(&self) -> bool {
+        !matches!(self.degraded_mode, DegradedMode::FullyManaged)
+    }
+}
+
+/// Counters of everything the runtime absorbed instead of failing: the
+/// observability half of graceful degradation. Attached to every
+/// [`LaunchResult`] and aggregated per queue.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeHealth {
+    /// Launches whose model predictions were unusable (NaN/∞/negative for
+    /// every configuration) and fell back to the GPU-only heuristic.
+    pub prediction_fallbacks: u32,
+    /// Launches of kernels in [`DegradedMode::GpuOriginalOnly`].
+    pub degraded_launches: u32,
+    /// Transient errors absorbed by retry (the queue's bounded backoff).
+    pub transient_retries: u32,
+    /// Watchdog recoveries during simulated co-execution (hung device
+    /// reclaimed and its work re-distributed).
+    pub watchdog_recoveries: u32,
+}
+
+impl RuntimeHealth {
+    /// Field-wise accumulate (queue aggregation).
+    pub fn absorb(&mut self, other: &RuntimeHealth) {
+        self.prediction_fallbacks += other.prediction_fallbacks;
+        self.degraded_launches += other.degraded_launches;
+        self.transient_retries += other.transient_retries;
+        self.watchdog_recoveries += other.watchdog_recoveries;
+    }
+
+    /// `true` when nothing went wrong anywhere.
+    pub fn is_nominal(&self) -> bool {
+        *self == RuntimeHealth::default()
     }
 }
 
@@ -109,6 +197,8 @@ pub struct LaunchResult {
     /// End-to-end time: kernel time plus model-inference overhead — the
     /// number the paper's evaluation charges to Dopia.
     pub total_time_s: f64,
+    /// What the runtime absorbed to complete this launch.
+    pub health: RuntimeHealth,
 }
 
 /// The Dopia runtime for one platform + one trained model.
@@ -119,12 +209,24 @@ pub struct Dopia {
     space: Vec<DopPoint>,
     /// GPU chunk divisor of Algorithm 1 (the paper uses 10).
     pub chunk_divisor: usize,
+    /// Injected faults applied to every subsequent launch (testing and
+    /// resilience experiments); `None` means a healthy machine.
+    fault_plan: Option<FaultPlan>,
+    /// Remaining injected transient `profile()` failures.
+    profile_failures_left: AtomicU32,
 }
 
 impl Dopia {
     pub fn new(engine: Engine, model: PerfModel) -> Self {
         let space = config_space(&engine.platform);
-        Dopia { engine, model, space, chunk_divisor: 10 }
+        Dopia {
+            engine,
+            model,
+            space,
+            chunk_divisor: 10,
+            fault_plan: None,
+            profile_failures_left: AtomicU32::new(0),
+        }
     }
 
     pub fn engine(&self) -> &Engine {
@@ -137,6 +239,34 @@ impl Dopia {
 
     pub fn space(&self) -> &[DopPoint] {
         &self.space
+    }
+
+    /// Inject a [`FaultPlan`] into every subsequent launch: DES-level
+    /// faults (hangs, stalls, slowdowns) play out with watchdog recovery,
+    /// and the plan's leading transient profile failures make
+    /// [`Dopia::profile`] return [`DopiaError::Transient`] that many times.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.profile_failures_left
+            .store(plan.transient_profile_failures, Ordering::Relaxed);
+        self.fault_plan = Some(plan);
+    }
+
+    /// Back to a healthy machine.
+    pub fn clear_fault_plan(&mut self) {
+        self.fault_plan = None;
+        self.profile_failures_left.store(0, Ordering::Relaxed);
+    }
+
+    /// The active fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// Consume one injected transient profile failure, if any remain.
+    fn take_injected_profile_failure(&self) -> bool {
+        self.profile_failures_left
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1))
+            .is_ok()
     }
 
     /// Compile-time path: analyze and rewrite every kernel in `source`.
@@ -156,15 +286,23 @@ impl Dopia {
         let mut kernels = Vec::with_capacity(program.kernels.len());
         for kernel in program.kernels {
             let features = extract_code_features(&kernel);
-            let malleable_1d =
-                transform_malleable(&kernel, 1).map_err(DopiaError::Transform)?;
-            let malleable_2d =
-                transform_malleable(&kernel, 2).map_err(DopiaError::Transform)?;
+            // Graceful degradation: a kernel the transform rejects is kept
+            // launchable as GPU-original-only instead of failing the whole
+            // program (an unmanaged kernel is strictly better than no
+            // program).
+            let (degraded_mode, malleable_1d, malleable_2d) =
+                match (transform_malleable(&kernel, 1), transform_malleable(&kernel, 2)) {
+                    (Ok(m1), Ok(m2)) => (DegradedMode::FullyManaged, Some(m1), Some(m2)),
+                    (Err(e), _) | (_, Err(e)) => {
+                        (DegradedMode::GpuOriginalOnly { reason: e.to_string() }, None, None)
+                    }
+                };
             let cpu_source_1d = generate_cpu_source(&kernel, 1);
             let cpu_source_2d = generate_cpu_source(&kernel, 2);
             kernels.push(PreparedKernel {
                 original: kernel,
                 features,
+                degraded_mode,
                 malleable_1d,
                 malleable_2d,
                 cpu_source_1d,
@@ -199,18 +337,31 @@ impl Dopia {
         nd: NdRange,
         mem: &mut Memory,
     ) -> Result<KernelProfile, DopiaError> {
+        if self.take_injected_profile_failure() {
+            return Err(DopiaError::Transient(
+                "injected transient profile failure".to_string(),
+            ));
+        }
         let spec = sim::engine::LaunchSpec { kernel: &prepared.original, args, nd };
         Ok(self.engine.profile(spec, mem)?)
     }
 
     /// Model selection + simulated co-execution for an already-profiled
-    /// launch.
+    /// launch. Degraded kernels skip selection and run GPU-original-only;
+    /// unusable predictions fall back to the GPU-only heuristic. Either
+    /// way the launch completes and [`LaunchResult::health`] says what was
+    /// absorbed.
     pub fn launch_with_profile(
         &self,
         prepared: &PreparedKernel,
         profile: &KernelProfile,
         nd: NdRange,
     ) -> LaunchResult {
+        let no_faults = FaultPlan::none();
+        let plan = self.fault_plan.as_ref().unwrap_or(&no_faults);
+        if prepared.is_degraded() {
+            return self.launch_degraded(profile, nd, plan);
+        }
         let selection = self.model.select_config(
             prepared.features,
             nd.work_dim,
@@ -218,20 +369,86 @@ impl Dopia {
             nd.local_size(),
             &self.space,
         );
-        let report = self.engine.simulate(
+        let report = self.engine.simulate_with_faults(
             profile,
             &nd,
             selection.point.dop(),
             Schedule::Dynamic { chunk_divisor: self.chunk_divisor },
             true, // Dopia always runs the malleable GPU kernel
+            plan,
         );
+        let health = RuntimeHealth {
+            prediction_fallbacks: selection.fallback as u32,
+            watchdog_recoveries: report.watchdog_fires,
+            ..RuntimeHealth::default()
+        };
         LaunchResult {
             selection,
             report,
             kernel_time_s: report.time_s,
             total_time_s: report.time_s + selection.inference_s,
+            health,
         }
     }
+
+    /// The reduced launch path for [`DegradedMode::GpuOriginalOnly`]
+    /// kernels: the original kernel, GPU alone, one static dispatch, no
+    /// model sweep — exactly what an unmanaged OpenCL runtime would do.
+    fn launch_degraded(
+        &self,
+        profile: &KernelProfile,
+        nd: NdRange,
+        plan: &FaultPlan,
+    ) -> LaunchResult {
+        // The GPU-only full-DoP point always exists in the Table 3 space;
+        // nearest_config covers hypothetical reduced spaces without a
+        // panic path.
+        let index = find_config(&self.space, 0, 8)
+            .unwrap_or_else(|| nearest_config(&self.space, 0.0, 1.0));
+        let point = self.space[index];
+        let report = self.engine.simulate_with_faults(
+            profile,
+            &nd,
+            point.dop(),
+            Schedule::Static { cpu_fraction: 0.0 },
+            false, // original kernel, not the malleable rewrite
+            plan,
+        );
+        let selection = Selection {
+            index,
+            point,
+            predicted: f64::NAN, // no model was consulted
+            inference_s: 0.0,
+            fallback: true,
+        };
+        let health = RuntimeHealth {
+            degraded_launches: 1,
+            watchdog_recoveries: report.watchdog_fires,
+            ..RuntimeHealth::default()
+        };
+        LaunchResult {
+            selection,
+            report,
+            kernel_time_s: report.time_s,
+            total_time_s: report.time_s,
+            health,
+        }
+    }
+}
+
+/// Index of the space point closest to the given utilization targets
+/// (total function: any non-empty space yields an index).
+fn nearest_config(space: &[DopPoint], cpu_util: f64, gpu_util: f64) -> usize {
+    let mut best = (0usize, f64::INFINITY);
+    for (i, p) in space.iter().enumerate() {
+        let dc = p.cpu_util - cpu_util;
+        let dg = p.gpu_util - gpu_util;
+        let d = dc * dc + dg * dg;
+        if d < best.1 {
+            best = (i, d);
+        }
+    }
+    best.0
 }
 
 #[cfg(test)]
@@ -306,6 +523,31 @@ mod tests {
         assert!(matches!(err, DopiaError::InvalidLaunch(_)));
     }
 
+    /// Every degenerate NDRange surfaces as `InvalidLaunch` — never a
+    /// panic or a division by zero deeper in the stack.
+    #[test]
+    fn degenerate_ndranges_are_invalid_launches_not_panics() {
+        let dopia = trained_dopia();
+        let program = dopia
+            .create_program_with_source("__kernel void a(int x) { x = 0; }")
+            .unwrap();
+        let cases = [
+            NdRange::d1(0, 64),                  // zero global
+            NdRange::d1(1024, 0),                // zero local
+            NdRange::d1(64, 256),                // local > global
+            NdRange::d2([64, 100], [16, 16]),    // 2-D mismatch in dim 1
+            NdRange::d2([0, 64], [16, 16]),      // 2-D zero global
+        ];
+        for nd in cases {
+            let mut mem = Memory::new();
+            let err = dopia
+                .enqueue_nd_range_kernel(&program, "a", &[ArgValue::Int(0)], nd, &mut mem)
+                .unwrap_err();
+            assert!(matches!(err, DopiaError::InvalidLaunch(_)), "{:?}", nd);
+            assert!(!err.is_transient(), "{:?}", nd);
+        }
+    }
+
     #[test]
     fn build_options_reach_the_preprocessor() {
         let dopia = trained_dopia();
@@ -340,10 +582,87 @@ mod tests {
             .create_program_with_source(workloads::polybench::CONV2D_SRC)
             .unwrap();
         let k = program.kernel("conv2d").unwrap();
-        let src1 = clc::printer::print_kernel(&k.malleable_1d);
-        let src2 = clc::printer::print_kernel(&k.malleable_2d);
+        assert!(!k.is_degraded());
+        let src1 = clc::printer::print_kernel(k.malleable_1d.as_ref().unwrap());
+        let src2 = clc::printer::print_kernel(k.malleable_2d.as_ref().unwrap());
         assert!(src1.contains("dop_gpu_mod"));
         assert!(src2.contains("get_local_size(0) * get_local_size(1)"));
-        assert_eq!(k.malleable(2).name, "conv2d");
+        assert_eq!(k.malleable(2).unwrap().name, "conv2d");
+    }
+
+    #[test]
+    fn untransformable_kernel_degrades_instead_of_failing() {
+        // `get_global_id(d)` with a runtime dimension defeats the
+        // malleability transform; the build must still succeed, keep the
+        // good kernel fully managed, and leave the bad one launchable.
+        let dopia = trained_dopia();
+        let src = "__kernel void good(__global float* a) { a[get_global_id(0)] = 1.0f; }
+                   __kernel void tricky(__global float* a, int d) { a[get_global_id(d)] = 2.0f; }";
+        let program = dopia.create_program_with_source(src).unwrap();
+        assert_eq!(program.kernels.len(), 2);
+        let good = program.kernel("good").unwrap();
+        assert!(!good.is_degraded());
+        assert!(good.malleable(1).is_some());
+        let tricky = program.kernel("tricky").unwrap();
+        assert!(tricky.is_degraded());
+        assert!(matches!(tricky.degraded_mode, DegradedMode::GpuOriginalOnly { .. }));
+        assert!(tricky.malleable(1).is_none());
+
+        // The degraded kernel still launches: GPU-only, all work done.
+        let mut mem = Memory::new();
+        let a = mem.alloc_f32(vec![0.0; 1024]);
+        let result = dopia
+            .enqueue_nd_range_kernel(
+                &program,
+                "tricky",
+                &[ArgValue::Buffer(a), ArgValue::Int(0)],
+                NdRange::d1(1024, 64),
+                &mut mem,
+            )
+            .unwrap();
+        assert_eq!(result.report.cpu_groups, 0);
+        assert_eq!(result.report.gpu_groups, 16);
+        assert_eq!(result.health.degraded_launches, 1);
+        assert!(result.selection.fallback);
+        assert!(!result.health.is_nominal());
+    }
+
+    #[test]
+    fn error_chain_and_transience() {
+        use std::error::Error;
+        let dopia = trained_dopia();
+        let compile_err = dopia.create_program_with_source("__kernel void x(").unwrap_err();
+        assert!(compile_err.source().is_some(), "compile errors carry a cause");
+        assert!(!compile_err.is_transient());
+        let transient = DopiaError::Transient("device busy".into());
+        assert!(transient.is_transient());
+        assert!(transient.source().is_none());
+    }
+
+    #[test]
+    fn injected_profile_failures_are_transient_and_bounded() {
+        let engine = Engine::kaveri();
+        let (data, _) = crate::training::tiny_training_set(&engine);
+        let model = PerfModel::train(ml::ModelKind::Dt, &data, 42);
+        let mut dopia = Dopia::new(engine, model);
+        dopia.set_fault_plan(FaultPlan {
+            transient_profile_failures: 2,
+            ..FaultPlan::default()
+        });
+        let program = dopia
+            .create_program_with_source(workloads::polybench::GESUMMV_SRC)
+            .unwrap();
+        let mut mem = Memory::new();
+        let built = workloads::polybench::gesummv(&mut mem, 1024, 256);
+        for _ in 0..2 {
+            let err = dopia
+                .enqueue_nd_range_kernel(&program, "gesummv", &built.args, built.nd, &mut mem)
+                .unwrap_err();
+            assert!(err.is_transient(), "injected failures are transient: {}", err);
+        }
+        // The budget is spent; the third attempt succeeds.
+        dopia
+            .enqueue_nd_range_kernel(&program, "gesummv", &built.args, built.nd, &mut mem)
+            .unwrap();
     }
 }

@@ -73,7 +73,7 @@ impl LinearRegression {
             .split_whitespace()
             .map(|v| v.parse().map_err(|e| format!("bad stat: {}", e)))
             .collect::<Result<_, String>>()?;
-        if flat.len() % 2 != 0 || coeffs.len() != flat.len() / 2 + 1 {
+        if !flat.len().is_multiple_of(2) || coeffs.len() != flat.len() / 2 + 1 {
             return Err("linear model shape mismatch".into());
         }
         let stats = flat.chunks(2).map(|c| (c[0], c[1])).collect();

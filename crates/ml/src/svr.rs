@@ -205,7 +205,7 @@ impl Svr {
             .split_whitespace()
             .map(|v| v.parse().map_err(|e| format!("bad stat: {}", e)))
             .collect::<Result<_, String>>()?;
-        if flat.len() % 2 != 0 {
+        if !flat.len().is_multiple_of(2) {
             return Err("odd stats length".into());
         }
         let stats: Vec<(f64, f64)> = flat.chunks(2).map(|c| (c[0], c[1])).collect();

@@ -19,6 +19,7 @@
 //! recomputes the allocation.
 
 use crate::cost::GroupCost;
+use crate::fault::FaultPlan;
 
 /// Work distribution policies (paper Section 8.3).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -78,15 +79,36 @@ pub struct DesReport {
     pub cpu_busy_s: f64,
     /// Busy time of the GPU (seconds, including dispatch latency).
     pub gpu_busy_s: f64,
+    /// Work-groups reclaimed from a hung/stalled agent by the watchdog and
+    /// completed by a surviving agent. Disjoint from `cpu_groups` /
+    /// `gpu_groups`: every group is counted in exactly one of the three,
+    /// so `cpu_groups + gpu_groups + recovered_groups + lost_groups`
+    /// always equals the input `num_groups`.
+    pub recovered_groups: usize,
+    /// Work-groups no surviving agent could execute (every device dead).
+    pub lost_groups: usize,
+    /// Times the watchdog reclaimed in-flight work from a hung agent.
+    pub watchdog_fires: u32,
+    /// Whether the run experienced a capacity-losing fault (hang, stall,
+    /// or lost work). Slowdowns alone do not set this — they degrade time,
+    /// not capacity.
+    pub degraded: bool,
 }
 
 #[derive(Debug, Clone, Copy)]
 enum State {
     Idle,
-    /// Waiting out dispatch latency.
-    Latency { remaining_s: f64, pending_groups: usize },
-    Busy { rem_compute_s: f64, rem_bytes: f64, groups: usize },
+    /// Waiting out dispatch latency. `recovered` tags work pulled from the
+    /// watchdog's reclaim pool rather than the original worklists.
+    Latency { remaining_s: f64, pending_groups: usize, recovered: bool },
+    Busy { rem_compute_s: f64, rem_bytes: f64, groups: usize, recovered: bool },
+    /// Faulted with work in flight; the watchdog reclaims the groups when
+    /// `deadline_s` passes and the agent becomes `Dead`.
+    Hung { deadline_s: f64, groups: usize },
+    /// Out of work (revived if the reclaim pool refills).
     Done,
+    /// Permanently failed; takes no further work.
+    Dead,
 }
 
 struct Agent {
@@ -94,20 +116,50 @@ struct Agent {
     cost: GroupCost,
     state: State,
     groups_done: usize,
+    /// Reclaimed groups this agent completed on behalf of a dead one.
+    recovered_done: usize,
     busy_s: f64,
     /// Whether this GPU agent has paid its dispatch latency (pull mode
     /// pays once per persistent kernel).
     launched: bool,
+    /// Chunk dispatches begun so far (drives `gpu_hang_at_dispatch`).
+    dispatches: usize,
+    /// Whether `gpu_hang_at_dispatch` applies to this agent (the chunked
+    /// device, or the first CU agent in pull mode).
+    hang_eligible: bool,
+    /// Compute-time multiplier from an injected slowdown (>= 1).
+    slowdown: f64,
+    /// Pending injected stall time, consumed when it triggers.
+    stall_at: Option<f64>,
 }
 
 const EPS: f64 = 1e-15;
 
-/// Run the discrete-event simulation.
+/// Run the discrete-event simulation with no injected faults.
 ///
 /// # Panics
 /// Panics if `cpu_cores > 0` without `cpu_cost`, or if both devices are
 /// disabled with work remaining.
 pub fn run_des(input: &DesInput) -> DesReport {
+    run_des_with_faults(input, &FaultPlan::none())
+}
+
+/// Run the discrete-event simulation under a [`FaultPlan`].
+///
+/// Recovery semantics: when an agent hangs (a GPU dispatch that never
+/// completes, or a CPU core stalling mid-group), a watchdog fires
+/// [`FaultPlan::watchdog_timeout`] simulated seconds later, reclaims the
+/// agent's in-flight work-groups into a recovery pool and marks the agent
+/// dead. Surviving agents — whatever the schedule — drain the recovery
+/// pool after their own worklists; those completions are reported in
+/// [`DesReport::recovered_groups`]. Only when *every* agent is dead with
+/// work outstanding does the run give up, reporting the remainder in
+/// [`DesReport::lost_groups`].
+///
+/// # Panics
+/// Panics if `cpu_cores > 0` without `cpu_cost`, or if both devices are
+/// disabled with work remaining.
+pub fn run_des_with_faults(input: &DesInput, plan: &FaultPlan) -> DesReport {
     assert!(
         input.cpu_cores == 0 || input.cpu_cost.is_some(),
         "cpu_cores > 0 requires cpu_cost"
@@ -145,15 +197,21 @@ pub fn run_des(input: &DesInput) -> DesReport {
         Schedule::Static { .. } => gpu_pool.max(1),
     };
 
+    let watchdog_s = plan.watchdog_timeout();
     let mut agents: Vec<Agent> = Vec::new();
-    for _ in 0..input.cpu_cores {
+    for core in 0..input.cpu_cores {
         agents.push(Agent {
             is_gpu: false,
             cost: input.cpu_cost.unwrap(),
             state: State::Idle,
             groups_done: 0,
+            recovered_done: 0,
             busy_s: 0.0,
             launched: false,
+            dispatches: 0,
+            hang_eligible: false,
+            slowdown: plan.slowdown_for(core),
+            stall_at: plan.stall_for(core),
         });
     }
     let gpu_index = agents.len();
@@ -163,14 +221,19 @@ pub fn run_des(input: &DesInput) -> DesReport {
             // bandwidth ceiling (the water-filling redistributes slack).
             let mut cost = g.cost;
             cost.bw_cap_gbs /= g.cus as f64;
-            for _ in 0..g.cus {
+            for cu in 0..g.cus {
                 agents.push(Agent {
                     is_gpu: true,
                     cost,
                     state: State::Idle,
                     groups_done: 0,
+                    recovered_done: 0,
                     busy_s: 0.0,
                     launched: false,
+                    dispatches: 0,
+                    hang_eligible: cu == 0,
+                    slowdown: 1.0,
+                    stall_at: None,
                 });
             }
         } else {
@@ -179,33 +242,92 @@ pub fn run_des(input: &DesInput) -> DesReport {
                 cost: g.cost,
                 state: State::Idle,
                 groups_done: 0,
+                recovered_done: 0,
                 busy_s: 0.0,
                 launched: false,
+                dispatches: 0,
+                hang_eligible: true,
+                slowdown: 1.0,
+                stall_at: None,
             });
         }
     }
 
     let mut time = 0.0f64;
     let mut dram_bytes = 0.0f64;
+    let mut recovered_pool = 0usize;
+    let mut watchdog_fires = 0u32;
+    let mut degraded = false;
     // Scratch buffers reused across events (launches can reach millions of
     // work-groups; per-event allocation would dominate).
     let mut caps: Vec<(usize, f64)> = Vec::with_capacity(agents.len());
     let mut rates = vec![0.0f64; agents.len()];
 
     loop {
-        // 1. Hand out work to idle agents.
+        // 0a. Trigger injected core stalls whose time has come. A stalled
+        //     core with a group in flight hangs (the watchdog will reclaim
+        //     the group); an empty-handed one just dies.
+        for agent in agents.iter_mut() {
+            let due = matches!(agent.stall_at, Some(t) if t <= time + EPS);
+            if !due {
+                continue;
+            }
+            agent.stall_at = None;
+            degraded = true;
+            agent.state = match agent.state {
+                State::Busy { groups, .. } => {
+                    State::Hung { deadline_s: time + watchdog_s, groups }
+                }
+                State::Latency { pending_groups, .. } => {
+                    State::Hung { deadline_s: time + watchdog_s, groups: pending_groups }
+                }
+                _ => State::Dead,
+            };
+        }
+
+        // 0b. Fire watchdogs: reclaim in-flight work from agents hung past
+        //     their deadline and retire the agent.
+        for agent in agents.iter_mut() {
+            if let State::Hung { deadline_s, groups } = agent.state {
+                if deadline_s <= time + EPS {
+                    recovered_pool += groups;
+                    watchdog_fires += 1;
+                    degraded = true;
+                    agent.state = State::Dead;
+                }
+            }
+        }
+
+        // 1. Hand out work to idle agents. `Done` agents are revivable:
+        //    watchdog reclaims can refill the recovery pool after an agent
+        //    ran out of first-hand work.
         for (i, agent) in agents.iter_mut().enumerate() {
-            if !matches!(agent.state, State::Idle) {
+            if !matches!(agent.state, State::Idle | State::Done) {
                 continue;
             }
             if agent.is_gpu {
                 let pool = if shared > 0 { &mut shared_pool } else { &mut gpu_pool };
+                let (pool, recovered) = if *pool > 0 {
+                    (pool, false)
+                } else {
+                    (&mut recovered_pool, true)
+                };
                 let take = gpu_chunk.min(*pool);
                 if take == 0 {
                     agent.state = State::Done;
                     continue;
                 }
                 *pool -= take;
+                let dispatch = agent.dispatches;
+                agent.dispatches += 1;
+                if agent.hang_eligible && plan.gpu_hang_at_dispatch == Some(dispatch) {
+                    // The dispatch claims its groups and freezes before any
+                    // compute or memory traffic happens.
+                    agent.state =
+                        State::Hung { deadline_s: time + watchdog_s, groups: take };
+                    degraded = true;
+                    continue;
+                }
                 let params = input.gpu.as_ref().unwrap();
                 let latency = if per_cu_pull && agent.launched {
                     0.0
@@ -214,19 +336,25 @@ pub fn run_des(input: &DesInput) -> DesReport {
                 };
                 agent.launched = true;
                 agent.state =
-                    State::Latency { remaining_s: latency, pending_groups: take };
+                    State::Latency { remaining_s: latency, pending_groups: take, recovered };
                 let _ = i;
             } else {
                 let pool = if shared > 0 { &mut shared_pool } else { &mut cpu_pool };
+                let (pool, recovered) = if *pool > 0 {
+                    (pool, false)
+                } else {
+                    (&mut recovered_pool, true)
+                };
                 if *pool == 0 {
                     agent.state = State::Done;
                     continue;
                 }
                 *pool -= 1;
                 agent.state = State::Busy {
-                    rem_compute_s: agent.cost.compute_s,
+                    rem_compute_s: agent.cost.compute_s * agent.slowdown,
                     rem_bytes: agent.cost.dram_bytes,
                     groups: 1,
+                    recovered,
                 };
                 dram_bytes += agent.cost.dram_bytes;
             }
@@ -234,8 +362,12 @@ pub fn run_des(input: &DesInput) -> DesReport {
         // Promote GPU out of latency into busy immediately if latency hit 0
         // handled below in the advance step.
 
-        // 2. Check termination.
-        if agents.iter().all(|a| matches!(a.state, State::Done)) {
+        // 2. Check termination: no agent holds work (hung agents hold
+        //    theirs until the watchdog reclaims it).
+        if agents
+            .iter()
+            .all(|a| matches!(a.state, State::Done | State::Dead))
+        {
             break;
         }
 
@@ -261,7 +393,8 @@ pub fn run_des(input: &DesInput) -> DesReport {
             left -= 1;
         }
 
-        // 4. Time to next completion.
+        // 4. Time to next event: a completion, a watchdog deadline, or a
+        //    pending injected stall.
         let mut dt = f64::INFINITY;
         for (i, agent) in agents.iter().enumerate() {
             let t = match agent.state {
@@ -278,22 +411,30 @@ pub fn run_des(input: &DesInput) -> DesReport {
                     };
                     rem_compute_s.max(t_mem)
                 }
-                _ => continue,
+                State::Hung { deadline_s, .. } => deadline_s - time,
+                _ => f64::INFINITY,
             };
             dt = dt.min(t);
+            if let Some(stall) = agent.stall_at {
+                if !matches!(agent.state, State::Dead) && stall > time {
+                    dt = dt.min(stall - time);
+                }
+            }
         }
         assert!(dt.is_finite(), "deadlock: busy agents cannot progress");
         let dt = dt.max(0.0);
 
-        // 5. Advance all agents by dt.
+        // 5. Advance all agents by dt (hung agents make no progress and
+        //    accrue no busy time — they are stuck, not working).
         time += dt;
         for (i, agent) in agents.iter_mut().enumerate() {
             match &mut agent.state {
-                State::Latency { remaining_s, pending_groups } => {
+                State::Latency { remaining_s, pending_groups, recovered } => {
                     agent.busy_s += dt;
                     *remaining_s -= dt;
                     if *remaining_s <= EPS {
                         let groups = *pending_groups;
+                        let recovered = *recovered;
                         let params = input.gpu.as_ref().unwrap();
                         // Per-CU agents process their single group alone;
                         // the chunked device spreads a chunk across CUs.
@@ -307,16 +448,21 @@ pub fn run_des(input: &DesInput) -> DesReport {
                             rem_compute_s: agent.cost.compute_s * waves,
                             rem_bytes: bytes,
                             groups,
+                            recovered,
                         };
                         dram_bytes += bytes;
                     }
                 }
-                State::Busy { rem_compute_s, rem_bytes, groups } => {
+                State::Busy { rem_compute_s, rem_bytes, groups, recovered } => {
                     agent.busy_s += dt;
                     *rem_compute_s = (*rem_compute_s - dt).max(0.0);
                     *rem_bytes = (*rem_bytes - rates[i] * dt).max(0.0);
                     if *rem_compute_s <= EPS && *rem_bytes <= EPS {
-                        agent.groups_done += *groups;
+                        if *recovered {
+                            agent.recovered_done += *groups;
+                        } else {
+                            agent.groups_done += *groups;
+                        }
                         agent.state = State::Idle;
                     }
                 }
@@ -329,8 +475,13 @@ pub fn run_des(input: &DesInput) -> DesReport {
         agents.iter().filter(|a| !a.is_gpu).map(|a| a.groups_done).sum();
     let gpu_groups: usize =
         agents.iter().filter(|a| a.is_gpu).map(|a| a.groups_done).sum();
+    let recovered_groups: usize = agents.iter().map(|a| a.recovered_done).sum();
     let cpu_busy: f64 = agents.iter().filter(|a| !a.is_gpu).map(|a| a.busy_s).sum();
     let gpu_busy: f64 = agents.iter().filter(|a| a.is_gpu).map(|a| a.busy_s).sum();
+    let lost_groups = cpu_pool + gpu_pool + shared_pool + recovered_pool;
+    if lost_groups > 0 {
+        degraded = true;
+    }
     let _ = gpu_index;
 
     DesReport {
@@ -340,12 +491,17 @@ pub fn run_des(input: &DesInput) -> DesReport {
         gpu_groups,
         cpu_busy_s: cpu_busy,
         gpu_busy_s: gpu_busy,
+        recovered_groups,
+        lost_groups,
+        watchdog_fires,
+        degraded,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{CoreSlowdown, CoreStall};
 
     fn cost(compute_s: f64, bytes: f64, cap: f64) -> GroupCost {
         GroupCost { compute_s, dram_bytes: bytes, bw_cap_gbs: cap, dram_efficiency: 1.0 }
@@ -606,6 +762,233 @@ mod tests {
         let r = run_des(&input);
         assert_eq!(r.time_s, 0.0);
         assert_eq!(r.cpu_groups + r.gpu_groups, 0);
+    }
+
+    #[test]
+    fn empty_fault_plan_matches_plain_run() {
+        let input = DesInput {
+            num_groups: 64,
+            cpu_cores: 4,
+            cpu_cost: Some(cost(1e-3, 1e5, 6.0)),
+            gpu: Some(gpu(cost(0.5e-3, 2e5, 12.0), 8)),
+            schedule: Schedule::Dynamic { chunk_divisor: 10 },
+            dram_bw_gbs: 15.0,
+        };
+        let plain = run_des(&input);
+        let faulted = run_des_with_faults(&input, &FaultPlan::none());
+        assert_eq!(plain, faulted);
+        assert_eq!(plain.recovered_groups, 0);
+        assert_eq!(plain.watchdog_fires, 0);
+        assert!(!plain.degraded);
+    }
+
+    #[test]
+    fn gpu_hang_recovers_on_cpu() {
+        // 100 groups, chunk 10. The GPU's second dispatch hangs; the
+        // watchdog reclaims its 10 groups and the CPU finishes them.
+        let input = DesInput {
+            num_groups: 100,
+            cpu_cores: 2,
+            cpu_cost: Some(cost(1e-3, 0.0, 6.0)),
+            gpu: Some(GpuAgentParams {
+                cost: cost(1e-3, 0.0, 10.0),
+                cus: 10,
+                launch_latency_s: 1e-3,
+            }),
+            schedule: Schedule::Dynamic { chunk_divisor: 10 },
+            dram_bw_gbs: 15.0,
+        };
+        let plan = FaultPlan {
+            gpu_hang_at_dispatch: Some(1),
+            watchdog_timeout_s: Some(5e-3),
+            ..FaultPlan::default()
+        };
+        let r = run_des_with_faults(&input, &plan);
+        assert_eq!(r.gpu_groups, 10, "only the first dispatch completes");
+        assert_eq!(r.recovered_groups, 10, "the hung chunk is re-executed");
+        assert_eq!(r.cpu_groups + r.gpu_groups + r.recovered_groups, 100);
+        assert_eq!(r.lost_groups, 0);
+        assert_eq!(r.watchdog_fires, 1);
+        assert!(r.degraded);
+        let healthy = run_des(&input);
+        assert!(r.time_s > healthy.time_s, "recovery costs time");
+    }
+
+    #[test]
+    fn gpu_hang_on_static_split_recovers_on_cpu() {
+        let input = DesInput {
+            num_groups: 40,
+            cpu_cores: 2,
+            cpu_cost: Some(cost(1e-3, 0.0, 6.0)),
+            gpu: Some(gpu(cost(1e-3, 0.0, 10.0), 4)),
+            schedule: Schedule::Static { cpu_fraction: 0.5 },
+            dram_bw_gbs: 15.0,
+        };
+        let plan = FaultPlan {
+            gpu_hang_at_dispatch: Some(0),
+            watchdog_timeout_s: Some(2e-3),
+            ..FaultPlan::default()
+        };
+        let r = run_des_with_faults(&input, &plan);
+        // The GPU's single dispatch held its whole 20-group half.
+        assert_eq!(r.gpu_groups, 0);
+        assert_eq!(r.recovered_groups, 20);
+        assert_eq!(r.cpu_groups, 20);
+        assert_eq!(r.lost_groups, 0);
+        assert!(r.degraded);
+    }
+
+    #[test]
+    fn core_stall_mid_group_is_reclaimed() {
+        // One core, 10 groups x 1 ms; the core stalls at 2.5 ms with group
+        // #3 in flight. GPU picks up the reclaimed group plus the rest.
+        let input = DesInput {
+            num_groups: 10,
+            cpu_cores: 1,
+            cpu_cost: Some(cost(1e-3, 0.0, 6.0)),
+            gpu: Some(gpu(cost(1e-3, 0.0, 10.0), 4)),
+            schedule: Schedule::Dynamic { chunk_divisor: 10 },
+            dram_bw_gbs: 15.0,
+        };
+        let plan = FaultPlan {
+            core_stalls: vec![CoreStall { core: 0, at_s: 2.5e-3 }],
+            watchdog_timeout_s: Some(1e-3),
+            ..FaultPlan::default()
+        };
+        let r = run_des_with_faults(&input, &plan);
+        assert_eq!(r.cpu_groups + r.gpu_groups + r.recovered_groups, 10);
+        assert_eq!(r.recovered_groups, 1, "the in-flight group is re-run");
+        assert_eq!(r.watchdog_fires, 1);
+        assert!(r.degraded);
+    }
+
+    #[test]
+    fn core_slowdown_shifts_work_to_gpu() {
+        let input = DesInput {
+            num_groups: 100,
+            cpu_cores: 1,
+            cpu_cost: Some(cost(1e-3, 0.0, 6.0)),
+            gpu: Some(gpu(cost(1e-3, 0.0, 10.0), 1)),
+            schedule: Schedule::Dynamic { chunk_divisor: 100 },
+            dram_bw_gbs: 15.0,
+        };
+        let healthy = run_des(&input);
+        let plan = FaultPlan {
+            core_slowdowns: vec![CoreSlowdown { core: 0, factor: 4.0 }],
+            ..FaultPlan::default()
+        };
+        let slow = run_des_with_faults(&input, &plan);
+        assert!(slow.cpu_groups < healthy.cpu_groups, "slow core claims less");
+        assert_eq!(slow.cpu_groups + slow.gpu_groups, 100);
+        assert!(!slow.degraded, "a slowdown loses time, not capacity");
+        assert_eq!(slow.watchdog_fires, 0);
+    }
+
+    /// Algorithm 1's load-balancing claim under adversity: with a core
+    /// running 4× slow, the dynamic distributor re-balances toward the
+    /// GPU and beats the same split executed statically.
+    #[test]
+    fn dynamic_beats_static_under_injected_slow_core() {
+        let plan = FaultPlan {
+            core_slowdowns: vec![CoreSlowdown { core: 0, factor: 4.0 }],
+            ..FaultPlan::default()
+        };
+        let base = DesInput {
+            num_groups: 100,
+            cpu_cores: 1,
+            cpu_cost: Some(cost(1e-3, 0.0, 6.0)),
+            gpu: Some(gpu(cost(1e-3, 0.0, 10.0), 1)),
+            schedule: Schedule::Dynamic { chunk_divisor: 100 },
+            dram_bw_gbs: 15.0,
+        };
+        let dynamic = run_des_with_faults(&base, &plan);
+        // The static split that was fair for healthy devices: half each.
+        let static_input =
+            DesInput { schedule: Schedule::Static { cpu_fraction: 0.5 }, ..base };
+        let stat = run_des_with_faults(&static_input, &plan);
+        assert_eq!(dynamic.cpu_groups + dynamic.gpu_groups, 100);
+        assert_eq!(stat.cpu_groups + stat.gpu_groups, 100);
+        assert!(
+            dynamic.time_s < stat.time_s,
+            "dynamic {} must beat static {} on a slow core",
+            dynamic.time_s,
+            stat.time_s
+        );
+    }
+
+    #[test]
+    fn all_devices_dead_reports_lost_groups() {
+        // GPU-only run whose first dispatch hangs: nobody can recover.
+        let input = DesInput {
+            num_groups: 50,
+            cpu_cores: 0,
+            cpu_cost: None,
+            gpu: Some(gpu(cost(1e-3, 0.0, 10.0), 4)),
+            schedule: Schedule::Dynamic { chunk_divisor: 10 },
+            dram_bw_gbs: 15.0,
+        };
+        let plan = FaultPlan {
+            gpu_hang_at_dispatch: Some(0),
+            watchdog_timeout_s: Some(1e-3),
+            ..FaultPlan::default()
+        };
+        let r = run_des_with_faults(&input, &plan);
+        assert_eq!(r.gpu_groups, 0);
+        assert_eq!(r.lost_groups, 50, "hung chunk plus the untouched pool");
+        assert!(r.degraded);
+        assert_eq!(r.watchdog_fires, 1);
+    }
+
+    #[test]
+    fn stalled_idle_core_just_dies() {
+        // Core 1 stalls before any work exists for it... i.e. at t=0 with
+        // work available it dies before claiming a group; the survivors
+        // finish everything with no watchdog involvement.
+        let input = DesInput {
+            num_groups: 20,
+            cpu_cores: 2,
+            cpu_cost: Some(cost(1e-3, 0.0, 6.0)),
+            gpu: None,
+            schedule: Schedule::Dynamic { chunk_divisor: 10 },
+            dram_bw_gbs: 15.0,
+        };
+        let plan = FaultPlan {
+            core_stalls: vec![CoreStall { core: 1, at_s: 0.0 }],
+            ..FaultPlan::default()
+        };
+        let r = run_des_with_faults(&input, &plan);
+        assert_eq!(r.cpu_groups, 20);
+        assert_eq!(r.recovered_groups, 0);
+        assert_eq!(r.watchdog_fires, 0);
+        assert!(r.degraded, "lost capacity even though no work was lost");
+        // Serial on the surviving core: 20 ms.
+        assert!((r.time_s - 0.02).abs() < 1e-9, "time {}", r.time_s);
+    }
+
+    #[test]
+    fn hang_under_dynamic_pull_recovers() {
+        let input = DesInput {
+            num_groups: 16,
+            cpu_cores: 1,
+            cpu_cost: Some(cost(1e-3, 0.0, 6.0)),
+            gpu: Some(GpuAgentParams {
+                cost: cost(1e-3, 0.0, 10.0),
+                cus: 4,
+                launch_latency_s: 0.5e-3,
+            }),
+            schedule: Schedule::DynamicPull,
+            dram_bw_gbs: 15.0,
+        };
+        let plan = FaultPlan {
+            gpu_hang_at_dispatch: Some(2),
+            watchdog_timeout_s: Some(2e-3),
+            ..FaultPlan::default()
+        };
+        let r = run_des_with_faults(&input, &plan);
+        assert_eq!(r.cpu_groups + r.gpu_groups + r.recovered_groups, 16);
+        assert_eq!(r.recovered_groups, 1, "pull agents hold one group each");
+        assert_eq!(r.watchdog_fires, 1);
+        assert!(r.degraded);
     }
 
     #[test]

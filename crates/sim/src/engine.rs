@@ -3,6 +3,7 @@
 use crate::buffer::{ArgValue, Memory};
 use crate::cost::{self, ModelConstants};
 use crate::des::{self, DesInput, GpuAgentParams};
+use crate::fault::FaultPlan;
 use crate::interp::{self, ExecError, ExecOptions, NullTracer};
 use crate::ndrange::NdRange;
 use crate::platform::PlatformConfig;
@@ -51,6 +52,17 @@ pub struct SimReport {
     pub gpu_groups: usize,
     pub cpu_busy_s: f64,
     pub gpu_busy_s: f64,
+    /// Work-groups the watchdog reclaimed from a faulted device and a
+    /// surviving device completed (disjoint from `cpu_groups` /
+    /// `gpu_groups`; zero on fault-free runs).
+    pub recovered_groups: usize,
+    /// Work-groups no surviving device could execute (zero unless every
+    /// device died).
+    pub lost_groups: usize,
+    /// Times the watchdog reclaimed in-flight work.
+    pub watchdog_fires: u32,
+    /// Whether the launch survived a capacity-losing fault.
+    pub degraded: bool,
 }
 
 /// The simulation engine for one platform.
@@ -112,6 +124,22 @@ impl Engine {
         schedule: Schedule,
         malleable: bool,
     ) -> SimReport {
+        self.simulate_with_faults(profile, nd, dop, schedule, malleable, &FaultPlan::none())
+    }
+
+    /// [`Engine::simulate`] under a [`FaultPlan`]: injected hangs, stalls
+    /// and slowdowns play out with watchdog-driven recovery (see
+    /// [`des::run_des_with_faults`]). An empty plan is bit-identical to
+    /// `simulate`.
+    pub fn simulate_with_faults(
+        &self,
+        profile: &KernelProfile,
+        nd: &NdRange,
+        dop: DopConfig,
+        schedule: Schedule,
+        malleable: bool,
+        plan: &FaultPlan,
+    ) -> SimReport {
         assert!(
             dop.cpu_cores > 0 || dop.gpu_frac > 0.0,
             "configuration CPU 0 / GPU 0 is excluded"
@@ -152,7 +180,7 @@ impl Engine {
             schedule,
             dram_bw_gbs: self.platform.mem.dram_bw_gbs,
         };
-        let r = des::run_des(&input);
+        let r = des::run_des_with_faults(&input, plan);
         SimReport {
             time_s: r.time_s,
             dram_bytes: r.dram_bytes,
@@ -161,6 +189,10 @@ impl Engine {
             gpu_groups: r.gpu_groups,
             cpu_busy_s: r.cpu_busy_s,
             gpu_busy_s: r.gpu_busy_s,
+            recovered_groups: r.recovered_groups,
+            lost_groups: r.lost_groups,
+            watchdog_fires: r.watchdog_fires,
+            degraded: r.degraded,
         }
     }
 

@@ -35,6 +35,7 @@ pub mod buffer;
 pub mod cost;
 pub mod des;
 pub mod engine;
+pub mod fault;
 pub mod interp;
 pub mod ndrange;
 pub mod platform;
@@ -42,6 +43,7 @@ pub mod profile;
 
 pub use buffer::{ArgValue, Buffer, BufferId, Memory};
 pub use engine::{Engine, LaunchSpec, Schedule, SimReport};
+pub use fault::{CoreSlowdown, CoreStall, FaultPlan};
 pub use ndrange::NdRange;
 pub use platform::{CpuConfig, GpuConfig, MemConfig, PlatformConfig};
 pub use profile::{AccessClass, KernelProfile};

@@ -131,6 +131,53 @@ mod tests {
     }
 
     #[test]
+    fn zero_global_size_rejected() {
+        let r = NdRange::d1(0, 64);
+        let err = r.validate().unwrap_err();
+        assert!(err.contains("zero size"), "{}", err);
+        // Accessors must stay total even on the invalid range.
+        assert_eq!(r.global_size(), 0);
+        assert_eq!(r.num_groups(), 0);
+    }
+
+    #[test]
+    fn zero_local_size_rejected_without_division_by_zero() {
+        let r = NdRange::d1(1024, 0);
+        let err = r.validate().unwrap_err();
+        assert!(err.contains("zero size"), "{}", err);
+        // `num_groups` clamps the divisor: no panic, no div-by-zero.
+        assert_eq!(r.num_groups(), 1024);
+        assert_eq!(r.local_size(), 0);
+    }
+
+    #[test]
+    fn local_larger_than_global_rejected() {
+        let r = NdRange::d1(64, 256);
+        let err = r.validate().unwrap_err();
+        assert!(err.contains("not divisible"), "{}", err);
+    }
+
+    #[test]
+    fn two_dim_mismatch_rejected_per_dimension() {
+        // Dimension 0 divides evenly; dimension 1 does not.
+        let r = NdRange::d2([64, 100], [16, 16]);
+        let err = r.validate().unwrap_err();
+        assert!(err.contains("dimension 1"), "{}", err);
+        // Zero in one dimension of a 2-D range is caught too.
+        let r = NdRange::d2([64, 0], [16, 16]);
+        assert!(r.validate().is_err());
+        let r = NdRange::d2([64, 64], [16, 0]);
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn work_dim_out_of_range_rejected() {
+        let r = NdRange { work_dim: 4, global: [8; 3], local: [2; 3], offset: [0; 3] };
+        let err = r.validate().unwrap_err();
+        assert!(err.contains("work_dim"), "{}", err);
+    }
+
+    #[test]
     fn with_offset_sets_offset() {
         let r = NdRange::d1(64, 16).with_offset([100, 0, 0]);
         assert_eq!(r.offset, [100, 0, 0]);

@@ -6,6 +6,9 @@
 //!                     [--model PATH] [--n N] [--global N[,M]] [--local N[,M]]
 //!                     [--arg name=value]... [-D name[=value]]...
 //!                     [--compare] [--show-malleable] [--show-cpu]
+//!                     [--inject-gpu-hang N] [--inject-core-stall CORE@T]
+//!                     [--inject-slowdown CORE@F] [--inject-profile-failures N]
+//!                     [--watchdog-s T]
 //! dopia sweep kernel.cl [same options as run]
 //! dopia inspect kernel.cl [-D name[=value]]...
 //! ```
@@ -58,7 +61,14 @@ OPTIONS (run):
   -D name[=value]      preprocessor definition (clBuildProgram -D)
   --compare            also report CPU / GPU / ALL baselines and the oracle
   --show-malleable     print the malleable GPU rewrite
-  --show-cpu           print the generated CPU code"
+  --show-cpu           print the generated CPU code
+
+FAULT INJECTION (run; exercise the watchdog / degradation machinery):
+  --inject-gpu-hang N        hang the GPU at its Nth chunk dispatch (0-based)
+  --inject-core-stall C@T    stall CPU core C at simulated time T seconds
+  --inject-slowdown C@F      slow CPU core C down by factor F (>= 1)
+  --inject-profile-failures N  fail the next N profiling calls transiently
+  --watchdog-s T             watchdog timeout in simulated seconds (default 0.05)"
     );
 }
 
@@ -75,6 +85,18 @@ struct Options {
     compare: bool,
     show_malleable: bool,
     show_cpu: bool,
+    faults: FaultPlan,
+}
+
+/// Parse a `CORE@VALUE` pair (used by `--inject-core-stall` and
+/// `--inject-slowdown`).
+fn parse_core_at(s: &str, flag: &str) -> Result<(usize, f64), String> {
+    let (core, val) = s
+        .split_once('@')
+        .ok_or_else(|| format!("{} expects CORE@VALUE, got `{}`", flag, s))?;
+    let core = core.trim().parse().map_err(|e| format!("{}: core: {}", flag, e))?;
+    let val = val.trim().parse().map_err(|e| format!("{}: value: {}", flag, e))?;
+    Ok((core, val))
 }
 
 fn parse_options(argv: &[String]) -> Result<Options, String> {
@@ -91,9 +113,10 @@ fn parse_options(argv: &[String]) -> Result<Options, String> {
         compare: false,
         show_malleable: false,
         show_cpu: false,
+        faults: FaultPlan::none(),
     };
     let mut it = argv.iter().peekable();
-    let mut value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
+    let value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
                      flag: &str|
      -> Result<String, String> {
         it.next().cloned().ok_or_else(|| format!("{} needs a value", flag))
@@ -125,6 +148,26 @@ fn parse_options(argv: &[String]) -> Result<Options, String> {
             "--compare" => opts.compare = true,
             "--show-malleable" => opts.show_malleable = true,
             "--show-cpu" => opts.show_cpu = true,
+            "--inject-gpu-hang" => {
+                let n = value(&mut it, a)?.parse().map_err(|e| format!("{}: {}", a, e))?;
+                opts.faults.gpu_hang_at_dispatch = Some(n);
+            }
+            "--inject-core-stall" => {
+                let (core, at_s) = parse_core_at(&value(&mut it, a)?, a)?;
+                opts.faults.core_stalls.push(CoreStall { core, at_s });
+            }
+            "--inject-slowdown" => {
+                let (core, factor) = parse_core_at(&value(&mut it, a)?, a)?;
+                opts.faults.core_slowdowns.push(CoreSlowdown { core, factor });
+            }
+            "--inject-profile-failures" => {
+                opts.faults.transient_profile_failures =
+                    value(&mut it, a)?.parse().map_err(|e| format!("{}: {}", a, e))?;
+            }
+            "--watchdog-s" => {
+                opts.faults.watchdog_timeout_s =
+                    Some(value(&mut it, a)?.parse().map_err(|e| format!("{}: {}", a, e))?);
+            }
             other if opts.file.is_empty() && !other.starts_with('-') => {
                 opts.file = other.to_string();
             }
@@ -181,7 +224,15 @@ fn run(argv: &[String], sweep: bool) -> ExitCode {
         }
     };
     let platform_name = engine.platform.name.clone();
-    let dopia = Dopia::new(engine, model);
+    let mut dopia = Dopia::new(engine, model);
+    if opts.faults != FaultPlan::none() {
+        if let Some(t) = opts.faults.watchdog_timeout_s {
+            if !t.is_finite() || t <= 0.0 {
+                return fail(format!("--watchdog-s must be finite and positive, got {}", t));
+            }
+        }
+        dopia.set_fault_plan(opts.faults.clone());
+    }
     let program = match dopia.create_program_with_options(&source, &opts.defines) {
         Ok(p) => p,
         Err(e) => return fail(e),
@@ -199,8 +250,16 @@ fn run(argv: &[String], sweep: bool) -> ExitCode {
     println!("kernel   : {} ({} params)", prepared.original.name, prepared.original.params.len());
     println!("platform : {}", platform_name);
     println!("features : {:?}", prepared.features);
+    if let DegradedMode::GpuOriginalOnly { reason } = &prepared.degraded_mode {
+        println!("degraded : GPU-original-only ({})", reason);
+    }
     if opts.show_malleable {
-        println!("\n--- malleable GPU kernel ---\n{}", clc::printer::print_kernel(&prepared.malleable_1d));
+        match &prepared.malleable_1d {
+            Some(k) => {
+                println!("\n--- malleable GPU kernel ---\n{}", clc::printer::print_kernel(k))
+            }
+            None => println!("\n--- malleable GPU kernel ---\n(kernel is degraded: no rewrite)"),
+        }
     }
     if opts.show_cpu {
         println!("\n--- generated CPU code ---\n{}", prepared.cpu_source_1d);
@@ -275,9 +334,17 @@ fn run(argv: &[String], sweep: bool) -> ExitCode {
         return print_sweep(&dopia, prepared, &args, nd, &mut mem);
     }
 
-    // Launch.
-    let result = match dopia.enqueue_nd_range_kernel(&program, &prepared.original.name, &args, nd, &mut mem) {
-        Ok(r) => r,
+    // Launch through the command queue so transient faults get the
+    // bounded-retry treatment an application would.
+    let mut queue = CommandQueue::new(&dopia);
+    let result = match queue.enqueue_nd_range_kernel(
+        &program,
+        &prepared.original.name,
+        &args,
+        nd,
+        &mut mem,
+    ) {
+        Ok(event) => event.result,
         Err(e) => return fail(e),
     };
     println!("\ndecision : {} CPU cores + {}/8 GPU ({} µs inference)",
@@ -291,6 +358,19 @@ fn run(argv: &[String], sweep: bool) -> ExitCode {
         result.report.gpu_groups,
         result.report.mem_requests / 1e6
     );
+    if result.report.degraded || !result.health.is_nominal() {
+        println!(
+            "health   : degraded={} watchdog_fires={} recovered_groups={} lost_groups={} \
+             fallbacks={} degraded_launches={} transient_retries={}",
+            result.report.degraded,
+            result.report.watchdog_fires,
+            result.report.recovered_groups,
+            result.report.lost_groups,
+            result.health.prediction_fallbacks,
+            result.health.degraded_launches,
+            result.health.transient_retries,
+        );
+    }
 
     if opts.compare {
         let profile = match dopia.profile(prepared, &args, nd, &mut mem) {
@@ -363,8 +443,7 @@ normalized performance (best = 1.00); rows GPU eighths, cols CPU cores");
     println!();
     for gi in (0..9).rev() {
         print!("{:>8}", format!("{}/8", gi));
-        for ci in 0..5 {
-            let t = times[gi][ci];
+        for &t in &times[gi] {
             if t.is_nan() {
                 print!("{:>7}", "-");
             } else {
@@ -419,7 +498,20 @@ fn inspect(argv: &[String]) -> ExitCode {
     for k in &program.kernels {
         println!("=== kernel `{}` ===", k.original.name);
         println!("features: {:?}\n", k.features);
-        println!("--- malleable GPU rewrite (1-D) ---\n{}", clc::printer::print_kernel(&k.malleable_1d));
+        match &k.malleable_1d {
+            Some(m) => println!(
+                "--- malleable GPU rewrite (1-D) ---\n{}",
+                clc::printer::print_kernel(m)
+            ),
+            None => match &k.degraded_mode {
+                DegradedMode::GpuOriginalOnly { reason } => {
+                    println!("--- malleable GPU rewrite (1-D) ---\n(degraded: {})", reason)
+                }
+                DegradedMode::FullyManaged => {
+                    println!("--- malleable GPU rewrite (1-D) ---\n(unavailable)")
+                }
+            },
+        }
         println!("--- generated CPU code (1-D) ---\n{}", k.cpu_source_1d);
     }
     ExitCode::SUCCESS

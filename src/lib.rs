@@ -57,10 +57,14 @@ pub use workloads;
 pub mod prelude {
     pub use crate::core::{
         baselines::{self, Baseline},
-        config_space, oracle, training, CodeFeatures, CommandQueue, Dopia, DopPoint,
-        FeatureVector, LaunchResult, PerfModel, Program, QueueSummary, TrainingOptions,
+        config_space, oracle, training, CodeFeatures, CommandQueue, DegradedMode, Dopia,
+        DopiaError, DopPoint, FeatureVector, LaunchResult, PerfModel, Program, QueueSummary,
+        RuntimeHealth, TrainingOptions,
     };
     pub use ml::ModelKind;
-    pub use sim::{ArgValue, Engine, Memory, NdRange, PlatformConfig, Schedule, SimReport};
+    pub use sim::{
+        ArgValue, CoreSlowdown, CoreStall, Engine, FaultPlan, Memory, NdRange, PlatformConfig,
+        Schedule, SimReport,
+    };
     pub use workloads::BuiltKernel;
 }

@@ -1,0 +1,74 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The workspace only uses `crossbeam::scope` for fork-join worker pools;
+//! std has had structured scoped threads since 1.63, so this shim is a
+//! thin adapter over [`std::thread::scope`] that preserves crossbeam's
+//! call shape (`scope(|s| { s.spawn(|_| ...); }).unwrap()`).
+//!
+//! One behavioural difference: crossbeam collects child panics into the
+//! returned `Err`, while `std::thread::scope` resends the panic on join —
+//! so a panicking worker panics out of `scope` here instead of returning
+//! `Err`. Callers in this workspace `.expect()` the result either way.
+
+/// A scope handle mirroring `crossbeam::thread::Scope`.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. The closure receives the scope again (the
+    /// crossbeam signature), enabling nested spawns.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Create a scope for spawning threads that may borrow from the caller.
+/// All spawned threads are joined before `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+pub mod thread {
+    pub use super::{scope, Scope};
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn workers_share_borrowed_state() {
+        let counter = AtomicUsize::new(0);
+        let result = super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+            42
+        })
+        .unwrap();
+        assert_eq!(result, 42);
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn nested_spawn_compiles_and_runs() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,236 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no crates.io access, so this vendored shim
+//! provides the (deterministic, seedable) subset of the rand 0.8 API the
+//! workspace actually uses: `StdRng`, `SeedableRng::seed_from_u64`,
+//! `Rng::{gen, gen_range, gen_bool}` and `seq::SliceRandom::shuffle`.
+//!
+//! The generator is SplitMix64 — small, fast, and statistically good
+//! enough for shuffles, bootstrap sampling and synthetic test data. It is
+//! *not* the real `StdRng` (ChaCha12), so seeded streams differ from
+//! upstream rand; nothing in this workspace depends on the exact stream,
+//! only on determinism for a fixed seed.
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling values of a type from a generator (rand's `Standard`
+/// distribution, collapsed into one trait).
+pub trait Standard: Sized {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+/// A half-open or inclusive range that can be sampled uniformly.
+pub trait SampleRange {
+    type Output;
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+/// The user-facing generator trait.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform value of `T` (`f64`/`f32` in `[0, 1)`, integers over their
+    /// full range, `bool` fair).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Uniform value in `range`.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic seedable generator (SplitMix64; see crate docs).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15) }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: Rng + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + (rng.next_u64() % (span + 1)) as $t
+            }
+        }
+    )*};
+}
+impl_range_int!(u8, u16, u32, u64, usize, i64);
+
+impl SampleRange for core::ops::Range<f64> {
+    type Output = f64;
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange for core::ops::RangeInclusive<f64> {
+    type Output = f64;
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty range");
+        start + f64::sample(rng) * (end - start)
+    }
+}
+
+pub mod seq {
+    use super::Rng;
+
+    /// Fisher–Yates shuffling for slices.
+    pub trait SliceRandom {
+        type Item;
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get((rng.next_u64() % self.len() as u64) as usize)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..64).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "64 elements should not shuffle to identity");
+    }
+}
