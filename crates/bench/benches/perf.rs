@@ -1,0 +1,151 @@
+//! Criterion benches of the PR's two performance tentpoles: the batched
+//! DES fast path (vs the exact per-agent event loop) and the enqueue
+//! decision cache (cold vs warm launch latency), plus the training-sweep
+//! throughput they combine into.
+//!
+//! ```sh
+//! cargo bench -p dopia-bench --bench perf
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dopia_core::configs::config_space;
+use dopia_core::training::{measure_workload_cached, TrainingOptions};
+use dopia_core::{DecisionCache, Dopia, PerfModel};
+use ml::ModelKind;
+use sim::{Engine, Memory, Schedule};
+
+fn profiled_gesummv(engine: &Engine, n: usize) -> (sim::KernelProfile, sim::NdRange) {
+    let mut mem = Memory::new();
+    let built = workloads::polybench::gesummv(&mut mem, n, 256);
+    let profile = engine.profile(built.spec(), &mut mem).unwrap();
+    (profile, built.nd)
+}
+
+/// The 44-config simulation sweep, fast path vs exact event loop. This is
+/// the inner loop of both training-data generation and the oracle.
+fn bench_des_sweep(c: &mut Criterion) {
+    let mut fast = Engine::kaveri();
+    fast.exact_des_only = false;
+    let mut exact = fast.clone();
+    exact.exact_des_only = true;
+    let space = config_space(&fast.platform);
+    let (profile, nd) = profiled_gesummv(&fast, 16384);
+    let sched = Schedule::Dynamic { chunk_divisor: 10 };
+
+    let mut group = c.benchmark_group("des_sweep_44_configs");
+    group.bench_function("fast_path", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for point in &space {
+                acc += fast
+                    .simulate(std::hint::black_box(&profile), &nd, point.dop(), sched, true)
+                    .time_s;
+            }
+            acc
+        })
+    });
+    group.bench_function("exact_des", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for point in &space {
+                acc += exact
+                    .simulate(std::hint::black_box(&profile), &nd, point.dop(), sched, true)
+                    .time_s;
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+/// Single enqueue latency: cold (profile + model sweep + simulate) vs
+/// cached (lookup + simulate).
+fn bench_enqueue_latency(c: &mut Criterion) {
+    let engine = Engine::kaveri();
+    let (data, _) = dopia_core::training::tiny_training_set(&engine);
+    let model = PerfModel::train(ModelKind::Dt, &data, 42);
+    let dopia = Dopia::new(engine, model);
+    let program = dopia
+        .create_program_with_source(workloads::polybench::GESUMMV_SRC)
+        .unwrap();
+    let mut mem = Memory::new();
+    let built = workloads::polybench::gesummv(&mut mem, 4096, 256);
+
+    let mut group = c.benchmark_group("enqueue_latency");
+    group.bench_function("cold_no_cache", |b| {
+        dopia.set_launch_cache_enabled(false);
+        b.iter(|| {
+            dopia
+                .enqueue_nd_range_kernel(&program, "gesummv", &built.args, built.nd, &mut mem)
+                .unwrap()
+                .total_time_s
+        })
+    });
+    group.bench_function("warm_cached", |b| {
+        dopia.set_launch_cache_enabled(true);
+        // Prime the entry so every measured iteration is a hit.
+        dopia
+            .enqueue_nd_range_kernel(&program, "gesummv", &built.args, built.nd, &mut mem)
+            .unwrap();
+        b.iter(|| {
+            dopia
+                .enqueue_nd_range_kernel(&program, "gesummv", &built.args, built.nd, &mut mem)
+                .unwrap()
+                .total_time_s
+        })
+    });
+    group.finish();
+}
+
+/// Training-sweep throughput at tiny_training_set scale: the profile cache
+/// plus the DES fast path against the exact, uncached combination.
+/// Workload construction is hoisted out of the timed iterations; the
+/// `fast_path` variant keeps its cache warm across iterations (how repeated
+/// sweeps run after this PR) while `exact_des` clears it per pass,
+/// reproducing the pre-PR re-profile-everything behaviour.
+fn bench_training_sweep(c: &mut Criterion) {
+    let mut fast = Engine::kaveri();
+    fast.exact_des_only = false;
+    let mut exact = fast.clone();
+    exact.exact_des_only = true;
+    let space = config_space(&fast.platform);
+    let grid: Vec<workloads::synthetic::SyntheticParams> =
+        workloads::synthetic::training_grid().into_iter().step_by(17).collect();
+    let opts = TrainingOptions { threads: 1, ..TrainingOptions::default() };
+    let mut built: Vec<(Memory, workloads::BuiltKernel)> = grid
+        .iter()
+        .enumerate()
+        .map(|(i, params)| {
+            let mut mem = Memory::new();
+            let built = params.build(&mut mem, 0xD0F1A ^ i as u64);
+            (mem, built)
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("training_sweep_72_workloads");
+    group.sample_size(10);
+    for (label, engine, keep_cache) in
+        [("fast_path", &fast, true), ("exact_des", &exact, false)]
+    {
+        let mut cache = DecisionCache::new(grid.len().max(1));
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                if !keep_cache {
+                    cache.clear();
+                }
+                let mut total = 0.0;
+                for (mem, built) in built.iter_mut() {
+                    let record =
+                        measure_workload_cached(engine, built, mem, &space, &opts, &mut cache)
+                            .unwrap();
+                    total += record.times[record.best_index];
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_des_sweep, bench_enqueue_latency, bench_training_sweep);
+criterion_main!(benches);

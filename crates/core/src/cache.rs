@@ -1,0 +1,312 @@
+//! The enqueue decision cache (tentpole of the performance layer).
+//!
+//! Dopia's pitch is that the expensive characterization work happens *once*
+//! — yet a naive runtime re-interprets sampled work-items and re-sweeps the
+//! model on **every** `clEnqueueNDRangeKernel`. Like StarPU's cached
+//! per-codelet performance models, this module memoizes the outcome of that
+//! work keyed by everything it can depend on:
+//!
+//! * the **prepared-kernel identity** (a process-unique id stamped at
+//!   `clCreateProgramWithSource` time),
+//! * the **NDRange** (geometry feeds both the profiler and the feature
+//!   vector), and
+//! * the **argument signature** — buffer `(id, len, generation)` triples
+//!   plus exact scalar values, because scalars feed addressing and loop
+//!   trip counts inside the kernel.
+//!
+//! A buffer's *generation* bumps on [`sim::Memory::resize`] /
+//! [`sim::Memory::rebind`], so a shape-changed buffer can never satisfy a
+//! stale key; inserting a fresh key additionally prunes entries that
+//! reference an outdated generation of the same buffer (counted as
+//! invalidations, since they can never hit again). Capacity is bounded
+//! with LRU eviction. Hit/miss/eviction/invalidation counters surface
+//! through [`crate::RuntimeHealth`] and the CLI health line.
+//!
+//! The training sweep ([`crate::training::measure_workload`]) reuses the
+//! same cache type for its one-profile-per-44-configs sharing, so the
+//! sweep and the runtime hot path exercise one code path.
+
+use crate::model::Selection;
+use sim::{ArgValue, BufferId, KernelProfile, Memory, NdRange};
+use std::collections::HashMap;
+
+/// Cache-relevant identity of one kernel argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArgSig {
+    /// Buffer shape epoch: contents don't matter for decisions, shape does.
+    Buffer { id: usize, len: usize, generation: u64 },
+    Int(i64),
+    /// Exact f32 bit pattern (`f32` itself is not `Hash`; bits also keep
+    /// NaN payloads distinct instead of poisoning equality).
+    Float(u32),
+}
+
+/// Key of one memoized launch decision.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LaunchKey {
+    pub kernel_id: u64,
+    pub nd: NdRange,
+    pub args: Vec<ArgSig>,
+}
+
+impl LaunchKey {
+    /// Build the key for a launch, reading buffer shapes and generations
+    /// from `mem`.
+    pub fn new(kernel_id: u64, nd: NdRange, args: &[ArgValue], mem: &Memory) -> Self {
+        let args = args
+            .iter()
+            .map(|a| match a {
+                ArgValue::Buffer(id) => ArgSig::Buffer {
+                    id: id.0,
+                    len: mem.get(*id).len(),
+                    generation: mem.generation(*id),
+                },
+                ArgValue::Int(v) => ArgSig::Int(*v),
+                ArgValue::Float(v) => ArgSig::Float(v.to_bits()),
+            })
+            .collect();
+        LaunchKey { kernel_id, nd, args }
+    }
+
+    fn references_buffer(&self, id: usize) -> bool {
+        self.args
+            .iter()
+            .any(|a| matches!(a, ArgSig::Buffer { id: b, .. } if *b == id))
+    }
+
+    /// Whether `self` references a strictly older generation of any buffer
+    /// the (newer) `fresh` key references — i.e. `self` can never hit again.
+    fn is_stale_against(&self, fresh: &LaunchKey) -> bool {
+        self.args.iter().any(|a| {
+            if let ArgSig::Buffer { id, generation, .. } = a {
+                fresh.args.iter().any(|f| {
+                    matches!(f, ArgSig::Buffer { id: fid, generation: fgen, .. }
+                             if fid == id && fgen > generation)
+                })
+            } else {
+                false
+            }
+        })
+    }
+}
+
+/// The memoized outcome of one launch's characterization.
+#[derive(Debug, Clone)]
+pub struct CachedDecision {
+    /// The sampled-interpretation profile (the expensive part).
+    pub profile: KernelProfile,
+    /// The model's DoP selection; `None` for profile-only entries (the
+    /// training sweep caches characterization without a selection).
+    pub selection: Option<Selection>,
+}
+
+/// Monotonic cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub invalidations: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    decision: CachedDecision,
+    last_used: u64,
+}
+
+/// Bounded LRU cache of launch decisions.
+#[derive(Debug)]
+pub struct DecisionCache {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<LaunchKey, Entry>,
+    stats: CacheStats,
+}
+
+impl DecisionCache {
+    /// Default capacity: generously above any realistic distinct-launch
+    /// working set (44 configs x a handful of kernels), small enough that
+    /// the O(capacity) eviction/invalidation scans stay trivial.
+    pub const DEFAULT_CAPACITY: usize = 256;
+
+    pub fn new(capacity: usize) -> Self {
+        DecisionCache {
+            capacity: capacity.max(1),
+            tick: 0,
+            map: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Look up a launch, counting a hit or miss and refreshing LRU order.
+    pub fn get(&mut self, key: &LaunchKey) -> Option<CachedDecision> {
+        self.tick += 1;
+        match self.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = self.tick;
+                self.stats.hits += 1;
+                Some(entry.decision.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a decision, pruning entries staled by newer buffer
+    /// generations and evicting the least-recently-used entry at capacity.
+    pub fn insert(&mut self, key: LaunchKey, decision: CachedDecision) {
+        let before = self.map.len();
+        self.map.retain(|k, _| !k.is_stale_against(&key));
+        self.stats.invalidations += (before - self.map.len()) as u64;
+
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(lru) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&lru);
+                self.stats.evictions += 1;
+            }
+        }
+        self.tick += 1;
+        self.map.insert(key, Entry { decision, last_used: self.tick });
+    }
+
+    /// Drop every entry referencing `id` (explicit rebind notification —
+    /// the belt to the generation key's suspenders).
+    pub fn invalidate_buffer(&mut self, id: BufferId) {
+        let before = self.map.len();
+        self.map.retain(|k, _| !k.references_buffer(id.0));
+        self.stats.invalidations += (before - self.map.len()) as u64;
+    }
+
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl Default for DecisionCache {
+    fn default() -> Self {
+        DecisionCache::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> KernelProfile {
+        KernelProfile {
+            flops_per_item: 1.0,
+            iops_per_item: 1.0,
+            divergence: 1.0,
+            sites: Vec::new(),
+            items_sampled: 1,
+        }
+    }
+
+    fn key(mem: &Memory, kernel_id: u64, args: &[ArgValue]) -> LaunchKey {
+        LaunchKey::new(kernel_id, NdRange::d1(64, 64), args, mem)
+    }
+
+    #[test]
+    fn hit_after_identical_key_miss_after_scalar_change() {
+        let mut mem = Memory::new();
+        let a = mem.alloc_f32(vec![0.0; 16]);
+        let mut cache = DecisionCache::new(8);
+        let args = [ArgValue::Buffer(a), ArgValue::Float(1.5), ArgValue::Int(7)];
+        let k = key(&mem, 1, &args);
+        assert!(cache.get(&k).is_none());
+        cache.insert(k.clone(), CachedDecision { profile: profile(), selection: None });
+        assert!(cache.get(&k).is_some());
+        // A scalar change is a different launch (scalars feed addressing).
+        let other = key(&mem, 1, &[ArgValue::Buffer(a), ArgValue::Float(2.5), ArgValue::Int(7)]);
+        assert!(cache.get(&other).is_none());
+        // So is the same launch of a different kernel.
+        assert!(cache.get(&key(&mem, 2, &args)).is_none());
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 3);
+    }
+
+    #[test]
+    fn resize_changes_key_and_insert_prunes_stale_generation() {
+        let mut mem = Memory::new();
+        let a = mem.alloc_f32(vec![0.0; 16]);
+        let mut cache = DecisionCache::new(8);
+        let args = [ArgValue::Buffer(a)];
+        let k0 = key(&mem, 1, &args);
+        cache.insert(k0.clone(), CachedDecision { profile: profile(), selection: None });
+        mem.resize(a, 32);
+        let k1 = key(&mem, 1, &args);
+        assert_ne!(k0, k1, "resize must change the key");
+        assert!(cache.get(&k1).is_none());
+        cache.insert(k1.clone(), CachedDecision { profile: profile(), selection: None });
+        // The generation-0 entry can never hit again; it must be gone.
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().invalidations, 1);
+        assert!(cache.get(&k1).is_some());
+    }
+
+    #[test]
+    fn explicit_invalidation_removes_only_matching_buffers() {
+        let mut mem = Memory::new();
+        let a = mem.alloc_f32(vec![0.0; 16]);
+        let b = mem.alloc_f32(vec![0.0; 16]);
+        let mut cache = DecisionCache::new(8);
+        let ka = key(&mem, 1, &[ArgValue::Buffer(a)]);
+        let kb = key(&mem, 1, &[ArgValue::Buffer(b)]);
+        cache.insert(ka.clone(), CachedDecision { profile: profile(), selection: None });
+        cache.insert(kb.clone(), CachedDecision { profile: profile(), selection: None });
+        cache.invalidate_buffer(a);
+        assert!(cache.get(&ka).is_none());
+        assert!(cache.get(&kb).is_some());
+        assert_eq!(cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity() {
+        let mem = Memory::new();
+        let mut cache = DecisionCache::new(2);
+        let k1 = key(&mem, 1, &[ArgValue::Int(1)]);
+        let k2 = key(&mem, 2, &[ArgValue::Int(2)]);
+        let k3 = key(&mem, 3, &[ArgValue::Int(3)]);
+        cache.insert(k1.clone(), CachedDecision { profile: profile(), selection: None });
+        cache.insert(k2.clone(), CachedDecision { profile: profile(), selection: None });
+        // Touch k1 so k2 becomes the LRU victim.
+        assert!(cache.get(&k1).is_some());
+        cache.insert(k3.clone(), CachedDecision { profile: profile(), selection: None });
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.get(&k1).is_some());
+        assert!(cache.get(&k2).is_none(), "LRU entry evicted");
+        assert!(cache.get(&k3).is_some());
+    }
+
+    #[test]
+    fn reinserting_same_key_does_not_evict() {
+        let mem = Memory::new();
+        let mut cache = DecisionCache::new(1);
+        let k = key(&mem, 1, &[]);
+        cache.insert(k.clone(), CachedDecision { profile: profile(), selection: None });
+        cache.insert(k.clone(), CachedDecision { profile: profile(), selection: None });
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+}

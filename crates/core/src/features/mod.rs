@@ -49,6 +49,14 @@ impl FeatureVector {
 
     /// Number of model features (Table 1 rows).
     pub const DIM: usize = 11;
+
+    /// Row index of `cpu_util` in [`FeatureVector::to_row`] output. The
+    /// launch-time sweep patches this slot in place instead of rebuilding
+    /// the row for each of the 44 configurations.
+    pub const CPU_UTIL_INDEX: usize = 9;
+
+    /// Row index of `gpu_util` in [`FeatureVector::to_row`] output.
+    pub const GPU_UTIL_INDEX: usize = 10;
 }
 
 #[cfg(test)]
@@ -79,5 +87,9 @@ mod tests {
         assert_eq!(row[8], 6.0); // log2(64)
         assert_eq!(row[9], 0.5);
         assert_eq!(row[10], 0.25);
+        // The sweep patches these slots in place; the constants must track
+        // the to_row layout.
+        assert_eq!(row[FeatureVector::CPU_UTIL_INDEX], fv.cpu_util);
+        assert_eq!(row[FeatureVector::GPU_UTIL_INDEX], fv.gpu_util);
     }
 }

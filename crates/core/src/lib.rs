@@ -57,6 +57,7 @@
 //! ```
 
 pub mod baselines;
+pub mod cache;
 pub mod codegen;
 pub mod configs;
 pub mod features;
@@ -66,6 +67,7 @@ pub mod queue;
 pub mod runtime;
 pub mod training;
 
+pub use cache::{CacheStats, DecisionCache, LaunchKey};
 pub use configs::{config_space, DopPoint};
 pub use features::{CodeFeatures, FeatureVector};
 pub use model::PerfModel;

@@ -92,16 +92,21 @@ impl PerfModel {
         assert!(!space.is_empty());
         let start = Instant::now();
         let mut best: Option<(usize, f64)> = None;
+        // Build the feature row once and patch only the two configuration
+        // slots per point: the 44-prediction sweep runs allocation-free.
+        let mut row = FeatureVector {
+            code,
+            work_dim,
+            global_size,
+            local_size,
+            cpu_util: 0.0,
+            gpu_util: 0.0,
+        }
+        .to_row();
         for (i, point) in space.iter().enumerate() {
-            let fv = FeatureVector {
-                code,
-                work_dim,
-                global_size,
-                local_size,
-                cpu_util: point.cpu_util,
-                gpu_util: point.gpu_util,
-            };
-            let pred = self.predict(&fv);
+            row[FeatureVector::CPU_UTIL_INDEX] = point.cpu_util;
+            row[FeatureVector::GPU_UTIL_INDEX] = point.gpu_util;
+            let pred = self.model.predict(&row);
             if !pred.is_finite() || pred < 0.0 {
                 continue;
             }

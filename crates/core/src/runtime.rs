@@ -14,14 +14,22 @@
 //! simulated kernel time, matching the paper's accounting ("all runtime
 //! overhead … is included").
 
+use crate::cache::{CacheStats, CachedDecision, DecisionCache, LaunchKey};
 use crate::codegen::{generate_cpu_source, malleable::transform_malleable};
 use crate::configs::{config_space, find_config, DopPoint};
 use crate::features::{extract_code_features, CodeFeatures};
 use crate::model::{PerfModel, Selection};
 use sim::fault::FaultPlan;
-use sim::{ArgValue, Engine, KernelProfile, Memory, NdRange, Schedule, SimReport};
+use sim::{ArgValue, BufferId, Engine, KernelProfile, Memory, NdRange, Schedule, SimReport};
 use std::fmt;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Process-unique id source for [`PreparedKernel`]s (the launch cache keys
+/// on it; ids never repeat, so a rebuilt program never aliases an old
+/// program's cached decisions).
+static NEXT_KERNEL_ID: AtomicU64 = AtomicU64::new(1);
 
 /// Errors surfaced by the runtime.
 #[derive(Debug)]
@@ -106,6 +114,9 @@ pub enum DegradedMode {
 /// A kernel after Dopia's compile-time analysis and rewriting.
 #[derive(Debug, Clone)]
 pub struct PreparedKernel {
+    /// Process-unique identity, stamped at program build time. The launch
+    /// decision cache keys on it.
+    pub id: u64,
     /// The unmodified kernel.
     pub original: clc::Kernel,
     /// Static code features (Table 1, top six rows).
@@ -155,6 +166,13 @@ pub struct RuntimeHealth {
     /// Watchdog recoveries during simulated co-execution (hung device
     /// reclaimed and its work re-distributed).
     pub watchdog_recoveries: u32,
+    /// Launches served from the decision cache (profile + model sweep
+    /// skipped entirely). Informational: does not affect
+    /// [`RuntimeHealth::is_nominal`].
+    pub launch_cache_hits: u32,
+    /// Launches that missed the decision cache and paid the full
+    /// characterization cost. Informational.
+    pub launch_cache_misses: u32,
 }
 
 impl RuntimeHealth {
@@ -164,11 +182,18 @@ impl RuntimeHealth {
         self.degraded_launches += other.degraded_launches;
         self.transient_retries += other.transient_retries;
         self.watchdog_recoveries += other.watchdog_recoveries;
+        self.launch_cache_hits += other.launch_cache_hits;
+        self.launch_cache_misses += other.launch_cache_misses;
     }
 
-    /// `true` when nothing went wrong anywhere.
+    /// `true` when nothing went wrong anywhere. Only the fault counters
+    /// matter here — cache hits/misses are normal operation, not absorbed
+    /// failures.
     pub fn is_nominal(&self) -> bool {
-        *self == RuntimeHealth::default()
+        self.prediction_fallbacks == 0
+            && self.degraded_launches == 0
+            && self.transient_retries == 0
+            && self.watchdog_recoveries == 0
     }
 }
 
@@ -214,6 +239,10 @@ pub struct Dopia {
     fault_plan: Option<FaultPlan>,
     /// Remaining injected transient `profile()` failures.
     profile_failures_left: AtomicU32,
+    /// Memoized launch decisions (see [`crate::cache`]).
+    launch_cache: Mutex<DecisionCache>,
+    /// Runtime toggle for the launch cache (CLI `--no-launch-cache`).
+    cache_enabled: AtomicBool,
 }
 
 impl Dopia {
@@ -226,6 +255,8 @@ impl Dopia {
             chunk_divisor: 10,
             fault_plan: None,
             profile_failures_left: AtomicU32::new(0),
+            launch_cache: Mutex::new(DecisionCache::default()),
+            cache_enabled: AtomicBool::new(true),
         }
     }
 
@@ -260,6 +291,35 @@ impl Dopia {
     /// The active fault plan, if any.
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
         self.fault_plan.as_ref()
+    }
+
+    /// Enable or disable the launch decision cache. Disabling does not
+    /// drop existing entries (use [`Dopia::clear_launch_cache`]); it just
+    /// routes every launch through the full profile + model sweep.
+    pub fn set_launch_cache_enabled(&self, enabled: bool) {
+        self.cache_enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether the launch decision cache is consulted.
+    pub fn launch_cache_enabled(&self) -> bool {
+        self.cache_enabled.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative cache counters (hits, misses, evictions, invalidations).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.launch_cache.lock().unwrap().stats()
+    }
+
+    /// Drop every cached decision that references `id` — the explicit
+    /// invalidation hook for buffer rebinds performed outside
+    /// [`Memory::resize`] / [`Memory::rebind`].
+    pub fn invalidate_buffer(&self, id: BufferId) {
+        self.launch_cache.lock().unwrap().invalidate_buffer(id);
+    }
+
+    /// Drop every cached decision (counters are preserved).
+    pub fn clear_launch_cache(&self) {
+        self.launch_cache.lock().unwrap().clear();
     }
 
     /// Consume one injected transient profile failure, if any remain.
@@ -300,6 +360,7 @@ impl Dopia {
             let cpu_source_1d = generate_cpu_source(&kernel, 1);
             let cpu_source_2d = generate_cpu_source(&kernel, 2);
             kernels.push(PreparedKernel {
+                id: NEXT_KERNEL_ID.fetch_add(1, Ordering::Relaxed),
                 original: kernel,
                 features,
                 degraded_mode,
@@ -313,6 +374,15 @@ impl Dopia {
     }
 
     /// Run-time path: select the DoP and co-execute.
+    ///
+    /// Repeated launches of the same prepared kernel with the same NDRange
+    /// and argument signature (buffer shapes + scalar values) are served
+    /// from the decision cache: the sampled-interpretation profile and the
+    /// 44-point model sweep — the two dominant hot-path costs — are skipped
+    /// and only the co-execution itself runs. A hit reports the measured
+    /// cache-lookup wall time as `selection.inference_s`, keeping the
+    /// paper's overhead accounting honest. Degraded kernels bypass the
+    /// cache (they have no model selection worth memoizing).
     pub fn enqueue_nd_range_kernel(
         &self,
         program: &Program,
@@ -325,8 +395,36 @@ impl Dopia {
             .kernel(kernel_name)
             .ok_or_else(|| DopiaError::UnknownKernel(kernel_name.to_string()))?;
         nd.validate().map_err(DopiaError::InvalidLaunch)?;
+
+        if prepared.is_degraded() || !self.cache_enabled.load(Ordering::Relaxed) {
+            let profile = self.profile(prepared, args, nd, mem)?;
+            return Ok(self.launch_with_profile(prepared, &profile, nd));
+        }
+
+        let lookup_start = Instant::now();
+        let key = LaunchKey::new(prepared.id, nd, args, mem);
+        let cached = self.launch_cache.lock().unwrap().get(&key);
+        if let Some(hit) = cached {
+            if let Some(mut selection) = hit.selection {
+                selection.inference_s = lookup_start.elapsed().as_secs_f64();
+                let mut result = self.launch_with_selection(&hit.profile, nd, selection);
+                result.health.launch_cache_hits = 1;
+                return Ok(result);
+            }
+        }
+
         let profile = self.profile(prepared, args, nd, mem)?;
-        Ok(self.launch_with_profile(prepared, &profile, nd))
+        let mut result = self.launch_with_profile(prepared, &profile, nd);
+        result.health.launch_cache_misses = 1;
+        // Fallback selections come from a model gone wrong, not from the
+        // launch itself — don't freeze them into the cache.
+        if !result.selection.fallback {
+            self.launch_cache.lock().unwrap().insert(
+                key,
+                CachedDecision { profile, selection: Some(result.selection) },
+            );
+        }
+        Ok(result)
     }
 
     /// Characterize a launch (separated so sweeps can reuse the profile).
@@ -369,6 +467,20 @@ impl Dopia {
             nd.local_size(),
             &self.space,
         );
+        self.launch_with_selection(profile, nd, selection)
+    }
+
+    /// Simulated co-execution at an already-selected configuration — the
+    /// shared tail of the miss path (fresh selection) and the hit path
+    /// (cached selection).
+    fn launch_with_selection(
+        &self,
+        profile: &KernelProfile,
+        nd: NdRange,
+        selection: Selection,
+    ) -> LaunchResult {
+        let no_faults = FaultPlan::none();
+        let plan = self.fault_plan.as_ref().unwrap_or(&no_faults);
         let report = self.engine.simulate_with_faults(
             profile,
             &nd,
@@ -465,6 +577,17 @@ mod tests {
             let model = PerfModel::train(ModelKind::Dt, &data, 42);
             Dopia::new(engine, model)
         })
+    }
+
+    /// A private runtime for tests that mutate shared state (the launch
+    /// cache, fault plans). The training sweep is shared; only model
+    /// training repeats.
+    fn fresh_dopia() -> Dopia {
+        static DATA: std::sync::OnceLock<ml::Dataset> = std::sync::OnceLock::new();
+        let engine = Engine::kaveri();
+        let data = DATA.get_or_init(|| crate::training::tiny_training_set(&engine).0);
+        let model = PerfModel::train(ModelKind::Dt, data, 42);
+        Dopia::new(engine, model)
     }
 
     #[test]
@@ -637,6 +760,126 @@ mod tests {
         let transient = DopiaError::Transient("device busy".into());
         assert!(transient.is_transient());
         assert!(transient.source().is_none());
+    }
+
+    #[test]
+    fn repeated_identical_enqueue_hits_cache_and_skips_profiling() {
+        let mut dopia = fresh_dopia();
+        let program = dopia
+            .create_program_with_source(workloads::polybench::GESUMMV_SRC)
+            .unwrap();
+        let mut mem = Memory::new();
+        let built = workloads::polybench::gesummv(&mut mem, 1024, 256);
+
+        let first = dopia
+            .enqueue_nd_range_kernel(&program, "gesummv", &built.args, built.nd, &mut mem)
+            .unwrap();
+        assert_eq!(first.health.launch_cache_misses, 1);
+        assert_eq!(first.health.launch_cache_hits, 0);
+
+        // Arm one injected transient profile failure. A cache hit must
+        // never reach `profile()`, so an identical relaunch succeeds with
+        // the failure still unconsumed...
+        dopia.set_fault_plan(FaultPlan {
+            transient_profile_failures: 1,
+            ..FaultPlan::default()
+        });
+        let second = dopia
+            .enqueue_nd_range_kernel(&program, "gesummv", &built.args, built.nd, &mut mem)
+            .unwrap();
+        assert_eq!(second.health.launch_cache_hits, 1);
+        assert_eq!(second.health.launch_cache_misses, 0);
+        assert!(second.health.is_nominal(), "cache hits are not faults");
+        assert_eq!(second.selection.index, first.selection.index);
+        assert_eq!(second.report.time_s, first.report.time_s);
+        assert!(second.selection.inference_s < first.selection.inference_s);
+
+        // ...and a changed scalar argument is a different launch: it misses,
+        // profiles, and trips the armed failure.
+        let mut changed = built.args.clone();
+        let scalar = changed
+            .iter_mut()
+            .find(|a| matches!(a, ArgValue::Float(_)))
+            .expect("gesummv has scalar args");
+        *scalar = ArgValue::Float(9.75);
+        let err = dopia
+            .enqueue_nd_range_kernel(&program, "gesummv", &changed, built.nd, &mut mem)
+            .unwrap_err();
+        assert!(err.is_transient());
+
+        let stats = dopia.cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+    }
+
+    #[test]
+    fn buffer_resize_invalidates_cached_decision() {
+        let dopia = fresh_dopia();
+        let program = dopia
+            .create_program_with_source(
+                "__kernel void scale(__global float* a, int n) {
+                     int i = get_global_id(0);
+                     if (i < n) { a[i] = a[i] * 2.0f; }
+                 }",
+            )
+            .unwrap();
+        let mut mem = Memory::new();
+        let a = mem.alloc_f32(vec![1.0; 4096]);
+        let args = [ArgValue::Buffer(a), ArgValue::Int(4096)];
+        let nd = NdRange::d1(4096, 256);
+        let base = dopia.cache_stats();
+
+        let first = dopia
+            .enqueue_nd_range_kernel(&program, "scale", &args, nd, &mut mem)
+            .unwrap();
+        assert_eq!(first.health.launch_cache_misses, 1);
+        let warm = dopia
+            .enqueue_nd_range_kernel(&program, "scale", &args, nd, &mut mem)
+            .unwrap();
+        assert_eq!(warm.health.launch_cache_hits, 1);
+
+        // Growing the buffer bumps its generation: same handle, same
+        // NDRange, but the old decision no longer applies.
+        mem.resize(a, 8192);
+        let after = dopia
+            .enqueue_nd_range_kernel(&program, "scale", &args, nd, &mut mem)
+            .unwrap();
+        assert_eq!(after.health.launch_cache_misses, 1);
+        assert_eq!(after.health.launch_cache_hits, 0);
+
+        let stats = dopia.cache_stats();
+        assert_eq!(stats.hits - base.hits, 1);
+        assert_eq!(stats.misses - base.misses, 2);
+        assert_eq!(stats.invalidations - base.invalidations, 1);
+    }
+
+    #[test]
+    fn disabled_cache_profiles_every_launch() {
+        let dopia = fresh_dopia();
+        let program = dopia
+            .create_program_with_source(
+                "__kernel void id(__global float* a) { a[get_global_id(0)] = 1.0f; }",
+            )
+            .unwrap();
+        let mut mem = Memory::new();
+        let a = mem.alloc_f32(vec![0.0; 1024]);
+        let args = [ArgValue::Buffer(a)];
+        let nd = NdRange::d1(1024, 64);
+        let base = dopia.cache_stats();
+
+        assert!(dopia.launch_cache_enabled());
+        dopia.set_launch_cache_enabled(false);
+        for _ in 0..2 {
+            let r = dopia
+                .enqueue_nd_range_kernel(&program, "id", &args, nd, &mut mem)
+                .unwrap();
+            assert_eq!(r.health.launch_cache_hits, 0);
+            assert_eq!(r.health.launch_cache_misses, 0);
+        }
+        let stats = dopia.cache_stats();
+        assert_eq!(stats.hits, base.hits, "disabled cache is never consulted");
+        assert_eq!(stats.misses, base.misses);
+        dopia.set_launch_cache_enabled(true);
     }
 
     #[test]

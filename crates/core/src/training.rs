@@ -6,10 +6,12 @@
 //! workload. The full synthetic grid yields 1,224 x 44 = 53,856 samples —
 //! the paper's "few hours" of profiling collapse to minutes of simulation.
 
+use crate::cache::{CachedDecision, DecisionCache, LaunchKey};
 use crate::configs::DopPoint;
 use crate::features::{extract_code_features, CodeFeatures, FeatureVector};
 use ml::Dataset;
 use sim::{Engine, Memory, Schedule};
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use workloads::synthetic::SyntheticParams;
 use workloads::BuiltKernel;
@@ -80,14 +82,59 @@ pub fn measure_workload(
     opts: &TrainingOptions,
 ) -> Result<WorkloadRecord, sim::interp::ExecError> {
     let profile = engine.profile(built.spec(), mem)?;
+    Ok(record_from_profile(engine, built, &profile, space, opts))
+}
+
+/// Like [`measure_workload`] but memoizing the sampled-interpretation
+/// profile in `cache` — the same [`DecisionCache`] the runtime hot path
+/// uses, keyed here by a hash of the workload's name plus its geometry and
+/// argument signature. One profile feeds all 44 simulated configurations,
+/// and repeated sweeps of the same built workload (benchmark iterations,
+/// cross-validation folds) skip re-profiling entirely.
+pub fn measure_workload_cached(
+    engine: &Engine,
+    built: &BuiltKernel,
+    mem: &mut Memory,
+    space: &[DopPoint],
+    opts: &TrainingOptions,
+    cache: &mut DecisionCache,
+) -> Result<WorkloadRecord, sim::interp::ExecError> {
+    let key = LaunchKey::new(workload_key(&built.name), built.nd, &built.args, mem);
+    let profile = match cache.get(&key) {
+        Some(hit) => hit.profile,
+        None => {
+            let p = engine.profile(built.spec(), mem)?;
+            cache.insert(key, CachedDecision { profile: p.clone(), selection: None });
+            p
+        }
+    };
+    Ok(record_from_profile(engine, built, &profile, space, opts))
+}
+
+/// Hash a workload name into the cache's kernel-id slot (the training path
+/// has no [`crate::runtime::PreparedKernel`] to take an id from).
+fn workload_key(name: &str) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    name.hash(&mut h);
+    h.finish()
+}
+
+/// The 44-config simulation sweep over an already-obtained profile.
+fn record_from_profile(
+    engine: &Engine,
+    built: &BuiltKernel,
+    profile: &sim::KernelProfile,
+    space: &[DopPoint],
+    opts: &TrainingOptions,
+) -> WorkloadRecord {
     let schedule = Schedule::Dynamic { chunk_divisor: opts.chunk_divisor };
     let mut times = Vec::with_capacity(space.len());
     for point in space {
-        let report = engine.simulate(&profile, &built.nd, point.dop(), schedule, opts.malleable);
+        let report = engine.simulate(profile, &built.nd, point.dop(), schedule, opts.malleable);
         times.push(report.time_s);
     }
     let best_index = argmin(&times);
-    Ok(WorkloadRecord {
+    WorkloadRecord {
         name: built.name.clone(),
         code: extract_code_features(&built.kernel),
         work_dim: built.nd.work_dim,
@@ -95,7 +142,7 @@ pub fn measure_workload(
         local_size: built.nd.local_size(),
         times,
         best_index,
-    })
+    }
 }
 
 /// Measure a list of synthetic workloads in parallel. Deterministic: the
@@ -107,11 +154,15 @@ pub fn run_grid(
     opts: &TrainingOptions,
 ) -> Vec<WorkloadRecord> {
     let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<WorkloadRecord>> = vec![None; grid.len()];
-    let slots_ptr = std::sync::Mutex::new(&mut slots);
+    // Workers stream `(index, record)` pairs over a channel instead of
+    // serializing on a shared Mutex<Vec>; the single drain below restores
+    // input order.
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, WorkloadRecord)>();
     crossbeam::scope(|scope| {
+        let next = &next;
         for _ in 0..opts.threads.max(1) {
-            scope.spawn(|_| loop {
+            let tx = tx.clone();
+            scope.spawn(move |_| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= grid.len() {
                     break;
@@ -120,16 +171,26 @@ pub fn run_grid(
                 let built = grid[i].build(&mut mem, 0xD0F1A ^ i as u64);
                 let record = measure_workload(engine, &built, &mut mem, space, opts)
                     .unwrap_or_else(|e| panic!("workload {} failed: {}", built.name, e));
-                slots_ptr.lock().unwrap()[i] = Some(record);
+                tx.send((i, record)).expect("collector outlives workers");
             });
         }
     })
     .expect("training sweep threads panicked");
+    drop(tx);
+    let mut slots: Vec<Option<WorkloadRecord>> = (0..grid.len()).map(|_| None).collect();
+    for (i, record) in rx {
+        slots[i] = Some(record);
+    }
     slots.into_iter().map(|s| s.expect("all slots filled")).collect()
 }
 
 /// Flatten records into an ML dataset: one row per (workload, config).
-pub fn dataset_from_records(records: &[WorkloadRecord], space: &[DopPoint]) -> Dataset {
+/// Accepts any iterable of record references so callers can filter without
+/// cloning.
+pub fn dataset_from_records<'a, I>(records: I, space: &[DopPoint]) -> Dataset
+where
+    I: IntoIterator<Item = &'a WorkloadRecord>,
+{
     let mut data = Dataset::empty();
     for record in records {
         for (i, point) in space.iter().enumerate() {
@@ -141,17 +202,13 @@ pub fn dataset_from_records(records: &[WorkloadRecord], space: &[DopPoint]) -> D
 
 /// Leave-one-out dataset: all records except the one named `exclude`
 /// (the paper's protocol for the real-world kernels, Section 9.4).
+/// Filters by reference — no record is cloned.
 pub fn dataset_excluding(
     records: &[WorkloadRecord],
     space: &[DopPoint],
     exclude: &str,
 ) -> Dataset {
-    let filtered: Vec<WorkloadRecord> = records
-        .iter()
-        .filter(|r| r.name != exclude)
-        .cloned()
-        .collect();
-    dataset_from_records(&filtered, space)
+    dataset_from_records(records.iter().filter(|r| r.name != exclude), space)
 }
 
 /// A fast sub-grid (every 17th synthetic workload = 72 workloads) for
@@ -196,6 +253,30 @@ mod tests {
         assert!(record.times.iter().all(|&t| t > 0.0));
         assert_eq!(record.normalized_perf(record.best_index), 1.0);
         assert!((0..44).all(|i| record.normalized_perf(i) <= 1.0));
+    }
+
+    #[test]
+    fn cached_measure_reuses_the_profile_and_matches_uncached() {
+        let engine = Engine::kaveri();
+        let space = config_space(&engine.platform);
+        let grid = workloads::synthetic::training_grid();
+        let mut mem = Memory::new();
+        let built = grid[0].build(&mut mem, 7);
+        let opts = TrainingOptions::default();
+        let plain = measure_workload(&engine, &built, &mut mem, &space, &opts).unwrap();
+
+        let mut cache = DecisionCache::default();
+        let first =
+            measure_workload_cached(&engine, &built, &mut mem, &space, &opts, &mut cache)
+                .unwrap();
+        let second =
+            measure_workload_cached(&engine, &built, &mut mem, &space, &opts, &mut cache)
+                .unwrap();
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hits, 1, "second sweep reuses the profile");
+        assert_eq!(first.times, plain.times, "cached path changes nothing");
+        assert_eq!(second.times, plain.times);
+        assert_eq!(first.best_index, plain.best_index);
     }
 
     #[test]

@@ -137,6 +137,10 @@ const EPS: f64 = 1e-15;
 
 /// Run the discrete-event simulation with no injected faults.
 ///
+/// Dispatches to the batched fast path when [`fast_path_applies`]; the
+/// result honours the fast-path equivalence contract (identical group
+/// assignment, `time_s` within 1e-9 relative of [`run_des_exact`]).
+///
 /// # Panics
 /// Panics if `cpu_cores > 0` without `cpu_cost`, or if both devices are
 /// disabled with work remaining.
@@ -144,7 +148,38 @@ pub fn run_des(input: &DesInput) -> DesReport {
     run_des_with_faults(input, &FaultPlan::none())
 }
 
-/// Run the discrete-event simulation under a [`FaultPlan`].
+/// Run the simulation under a [`FaultPlan`], taking the batched fast path
+/// whenever the plan cannot perturb the event loop (see
+/// [`fast_path_applies`]); otherwise falls back to
+/// [`run_des_exact_with_faults`].
+///
+/// # Panics
+/// Panics if `cpu_cores > 0` without `cpu_cost`, or if both devices are
+/// disabled with work remaining.
+pub fn run_des_with_faults(input: &DesInput, plan: &FaultPlan) -> DesReport {
+    if fast_path_applies(input, plan) {
+        run_des_fast(input)
+    } else {
+        run_des_exact_with_faults(input, plan)
+    }
+}
+
+/// Whether [`run_des_with_faults`] may use the batched fast path: the run
+/// must be fault-free (every group shares one unperturbed [`GroupCost`])
+/// and use a push schedule — [`Schedule::DynamicPull`]'s per-CU agents
+/// need the general event loop.
+pub fn fast_path_applies(input: &DesInput, plan: &FaultPlan) -> bool {
+    !plan.affects_des() && !matches!(input.schedule, Schedule::DynamicPull)
+}
+
+/// Run the exact per-agent event loop with no injected faults. Kept
+/// public as the reference implementation the fast path is verified
+/// against (see `tests/perf_equivalence.rs`).
+pub fn run_des_exact(input: &DesInput) -> DesReport {
+    run_des_exact_with_faults(input, &FaultPlan::none())
+}
+
+/// Run the exact discrete-event simulation under a [`FaultPlan`].
 ///
 /// Recovery semantics: when an agent hangs (a GPU dispatch that never
 /// completes, or a CPU core stalling mid-group), a watchdog fires
@@ -159,7 +194,7 @@ pub fn run_des(input: &DesInput) -> DesReport {
 /// # Panics
 /// Panics if `cpu_cores > 0` without `cpu_cost`, or if both devices are
 /// disabled with work remaining.
-pub fn run_des_with_faults(input: &DesInput, plan: &FaultPlan) -> DesReport {
+pub fn run_des_exact_with_faults(input: &DesInput, plan: &FaultPlan) -> DesReport {
     assert!(
         input.cpu_cores == 0 || input.cpu_cost.is_some(),
         "cpu_cores > 0 requires cpu_cost"
@@ -495,6 +530,400 @@ pub fn run_des_with_faults(input: &DesInput, plan: &FaultPlan) -> DesReport {
         lost_groups,
         watchdog_fires,
         degraded,
+    }
+}
+
+/// State of the single batched CPU "super-core" in the fast path. All
+/// active cores share one `GroupCost`, claim at the same instants and see
+/// the same water-filled rate, so they stay in lockstep for the whole run
+/// and one (compute, bytes) pair describes every core.
+#[derive(Debug, Clone, Copy)]
+struct CpuRound {
+    rem_compute_s: f64,
+    rem_bytes: f64,
+    /// Cores participating in this round (the final round may be partial).
+    claiming: usize,
+    /// True until the round is advanced by a positive `dt`; only a fresh
+    /// round may seed a closed-form multi-round batch.
+    fresh: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum FastGpu {
+    Idle,
+    Latency { remaining_s: f64, pending: usize, fresh: bool },
+    Busy { rem_compute_s: f64, rem_bytes: f64, groups: usize },
+    Done,
+}
+
+/// Batched fault-free simulation. Event count scales with
+/// `O(cpu round segments + gpu chunks)` instead of `O(num_groups)`:
+/// identical CPU rounds between GPU state changes collapse into one
+/// closed-form step, and a GPU running alone collapses whole
+/// latency+chunk cycles. Group assignment matches [`run_des_exact`]
+/// exactly; times agree to within accumulated rounding (~1e-12 relative,
+/// contract 1e-9) because the exact loop resolves floating-point residue
+/// in extra micro-events the batch folds away.
+fn run_des_fast(input: &DesInput) -> DesReport {
+    assert!(
+        input.cpu_cores == 0 || input.cpu_cost.is_some(),
+        "cpu_cores > 0 requires cpu_cost"
+    );
+    assert!(
+        input.cpu_cores > 0 || input.gpu.is_some() || input.num_groups == 0,
+        "no device enabled"
+    );
+
+    // Worklist split: identical to the exact path.
+    let (mut cpu_pool, mut gpu_pool, shared) = match input.schedule {
+        Schedule::Dynamic { .. } => (0usize, 0usize, input.num_groups),
+        Schedule::Static { cpu_fraction } => {
+            let f = cpu_fraction.clamp(0.0, 1.0);
+            let mut cpu = (input.num_groups as f64 * f).round() as usize;
+            if input.gpu.is_none() {
+                cpu = input.num_groups;
+            }
+            if input.cpu_cores == 0 {
+                cpu = 0;
+            }
+            (cpu, input.num_groups - cpu, 0usize)
+        }
+        Schedule::DynamicPull => unreachable!("pull mode always takes the exact path"),
+    };
+    let mut shared_pool = shared;
+
+    let gpu_chunk = match input.schedule {
+        Schedule::Dynamic { chunk_divisor } => {
+            (input.num_groups / chunk_divisor.max(1)).max(1)
+        }
+        Schedule::Static { .. } => gpu_pool.max(1),
+        Schedule::DynamicPull => unreachable!(),
+    };
+
+    let total_bw = input.dram_bw_gbs * 1e9;
+    let cpu_cap = input
+        .cpu_cost
+        .map(|c| c.bw_cap_gbs * c.dram_efficiency * 1e9)
+        .unwrap_or(0.0);
+    let gpu_cap = input
+        .gpu
+        .map(|g| g.cost.bw_cap_gbs * g.cost.dram_efficiency * 1e9)
+        .unwrap_or(0.0);
+
+    let mut time = 0.0f64;
+    let mut dram_bytes = 0.0f64;
+    let mut cpu_groups = 0usize;
+    let mut gpu_groups = 0usize;
+    let mut cpu_busy = 0.0f64;
+    let mut gpu_busy = 0.0f64;
+
+    let mut cpu_run: Option<CpuRound> = None;
+    // Cores still willing to claim work; drops to the claim count when the
+    // pool runs short (the stranded cores retire, as in the exact path).
+    let mut cpu_running = input.cpu_cores;
+    let mut gpu_state = if input.gpu.is_some() { FastGpu::Idle } else { FastGpu::Done };
+
+    loop {
+        // 1. Handout — CPU cores precede the GPU in the exact agent order,
+        //    so at coincident completions the cores claim first.
+        if cpu_running > 0 && cpu_run.is_none() {
+            let cost = input.cpu_cost.unwrap();
+            let pool = if shared > 0 { &mut shared_pool } else { &mut cpu_pool };
+            let take = cpu_running.min(*pool);
+            if take == 0 {
+                cpu_running = 0;
+            } else {
+                *pool -= take;
+                cpu_running = take;
+                dram_bytes += cost.dram_bytes * take as f64;
+                cpu_run = Some(CpuRound {
+                    rem_compute_s: cost.compute_s,
+                    rem_bytes: cost.dram_bytes,
+                    claiming: take,
+                    fresh: true,
+                });
+            }
+        }
+        if matches!(gpu_state, FastGpu::Idle) {
+            let pool = if shared > 0 { &mut shared_pool } else { &mut gpu_pool };
+            let take = gpu_chunk.min(*pool);
+            if take == 0 {
+                gpu_state = FastGpu::Done;
+            } else {
+                *pool -= take;
+                let params = input.gpu.as_ref().unwrap();
+                gpu_state = FastGpu::Latency {
+                    remaining_s: params.launch_latency_s,
+                    pending: take,
+                    fresh: true,
+                };
+            }
+        }
+
+        // 2. Termination: nothing in flight, nothing claimable.
+        if cpu_run.is_none() && matches!(gpu_state, FastGpu::Done) {
+            break;
+        }
+
+        // 3. Water-fill, replicating the exact path's arithmetic: caps are
+        //    pushed cores-first then GPU, stably sorted ascending, and the
+        //    shared bandwidth is dealt out fair-share-capped in that order
+        //    (equal caps provably receive equal rates).
+        let cpu_mem_n = match &cpu_run {
+            Some(b) if b.rem_bytes > EPS => b.claiming,
+            _ => 0,
+        };
+        let gpu_mem = matches!(&gpu_state, FastGpu::Busy { rem_bytes, .. } if *rem_bytes > EPS);
+        let (r_cpu, r_gpu) = {
+            let mut caps: Vec<(bool, f64)> = Vec::with_capacity(cpu_mem_n + 1);
+            for _ in 0..cpu_mem_n {
+                caps.push((false, cpu_cap));
+            }
+            if gpu_mem {
+                caps.push((true, gpu_cap));
+            }
+            caps.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            let mut remaining_bw = total_bw;
+            let mut left = caps.len();
+            let (mut rc, mut rg) = (0.0f64, 0.0f64);
+            for &(is_gpu, cap) in &caps {
+                let fair = remaining_bw / left as f64;
+                let r = cap.min(fair);
+                if is_gpu {
+                    rg = r;
+                } else {
+                    rc = r;
+                }
+                remaining_bw -= r;
+                left -= 1;
+            }
+            (rc, rg)
+        };
+
+        // 4a. Closed-form CPU multi-round batch. While the GPU's state (and
+        //     therefore the water-fill composition) cannot change, every
+        //     full CPU round is identical: collapse k of them into one
+        //     step. `fits(adv)` is true when advancing the GPU by `adv`
+        //     provably crosses no GPU event — latency expiry, byte
+        //     depletion (which would re-rate the cores) or completion.
+        if let Some(b) = cpu_run {
+            if b.fresh && b.claiming == cpu_running {
+                let t_mem = if b.rem_bytes > EPS {
+                    if r_cpu > EPS { b.rem_bytes / r_cpu } else { f64::INFINITY }
+                } else {
+                    0.0
+                };
+                let t_full = b.rem_compute_s.max(t_mem);
+                if t_full.is_finite() {
+                    let fits = |adv: f64| -> bool {
+                        match &gpu_state {
+                            FastGpu::Latency { remaining_s, .. } => remaining_s - adv > EPS,
+                            FastGpu::Busy { rem_compute_s, rem_bytes, .. } => {
+                                if *rem_bytes > EPS {
+                                    if r_gpu > EPS {
+                                        rem_bytes - r_gpu * adv > EPS
+                                    } else {
+                                        true
+                                    }
+                                } else {
+                                    rem_compute_s - adv > EPS
+                                }
+                            }
+                            FastGpu::Done => true,
+                            FastGpu::Idle => false,
+                        }
+                    };
+                    let pool_now = if shared > 0 { shared_pool } else { cpu_pool };
+                    // Rounds claimable at full strength, counting the one
+                    // already in flight.
+                    let rounds_avail = 1 + pool_now / b.claiming;
+                    let k = if !fits(0.0) {
+                        0
+                    } else if t_full == 0.0 {
+                        // Zero-cost rounds consume the pool without
+                        // advancing time, exactly like the exact path's
+                        // dt = 0 events.
+                        rounds_avail
+                    } else {
+                        let est = match &gpu_state {
+                            FastGpu::Latency { remaining_s, .. } => remaining_s / t_full,
+                            FastGpu::Busy { rem_compute_s, rem_bytes, .. } => {
+                                if *rem_bytes > EPS {
+                                    if r_gpu > EPS {
+                                        (rem_bytes / r_gpu) / t_full
+                                    } else {
+                                        f64::INFINITY
+                                    }
+                                } else {
+                                    rem_compute_s / t_full
+                                }
+                            }
+                            _ => f64::INFINITY,
+                        };
+                        let mut k = if est.is_finite() {
+                            rounds_avail.min(est as usize + 1)
+                        } else {
+                            rounds_avail
+                        };
+                        while k >= 2 && !fits(k as f64 * t_full) {
+                            k -= 1;
+                        }
+                        k
+                    };
+                    if k >= 2 {
+                        let adv = k as f64 * t_full;
+                        let cost = input.cpu_cost.unwrap();
+                        let extra = (k - 1) * b.claiming;
+                        let pool =
+                            if shared > 0 { &mut shared_pool } else { &mut cpu_pool };
+                        *pool -= extra;
+                        dram_bytes += cost.dram_bytes * extra as f64;
+                        cpu_groups += k * b.claiming;
+                        cpu_busy += adv * b.claiming as f64;
+                        time += adv;
+                        match &mut gpu_state {
+                            FastGpu::Latency { remaining_s, .. } => {
+                                gpu_busy += adv;
+                                *remaining_s -= adv;
+                            }
+                            FastGpu::Busy { rem_compute_s, rem_bytes, .. } => {
+                                gpu_busy += adv;
+                                *rem_compute_s = (*rem_compute_s - adv).max(0.0);
+                                *rem_bytes = (*rem_bytes - r_gpu * adv).max(0.0);
+                            }
+                            _ => {}
+                        }
+                        cpu_run = None;
+                        continue;
+                    }
+                }
+            }
+        }
+
+        // 4b. Closed-form GPU chunk batch: once the CPU has retired, a
+        //     freshly dispatched full chunk repeats the same
+        //     latency + max(compute, bytes/rate) cycle for every full
+        //     chunk left in the pool.
+        if cpu_run.is_none() && cpu_running == 0 {
+            if let FastGpu::Latency { remaining_s, pending, fresh: true } = gpu_state {
+                let params = input.gpu.as_ref().unwrap();
+                let pool = if shared > 0 { &mut shared_pool } else { &mut gpu_pool };
+                let extra_chunks = *pool / gpu_chunk;
+                if pending == gpu_chunk && extra_chunks >= 1 {
+                    let waves = (gpu_chunk as f64 / params.cus as f64).ceil();
+                    let bytes = params.cost.dram_bytes * gpu_chunk as f64;
+                    let r_alone = gpu_cap.min(total_bw);
+                    let t_busy = if bytes > EPS {
+                        if r_alone > EPS {
+                            (params.cost.compute_s * waves).max(bytes / r_alone)
+                        } else {
+                            f64::INFINITY
+                        }
+                    } else {
+                        params.cost.compute_s * waves
+                    };
+                    assert!(t_busy.is_finite(), "deadlock: busy agents cannot progress");
+                    let m = 1 + extra_chunks;
+                    *pool -= extra_chunks * gpu_chunk;
+                    time += m as f64 * (remaining_s + t_busy);
+                    gpu_busy += m as f64 * (remaining_s + t_busy);
+                    gpu_groups += m * gpu_chunk;
+                    dram_bytes += bytes * m as f64;
+                    gpu_state = FastGpu::Idle;
+                    continue;
+                }
+            }
+        }
+
+        // 5. Generic step: identical arithmetic to one exact-path event, so
+        //    interleaved CPU/GPU segments (including ties, resolved
+        //    CPU-first at handout) reproduce the exact trajectory.
+        let mut dt = f64::INFINITY;
+        if let Some(b) = &cpu_run {
+            let t_mem = if b.rem_bytes > EPS {
+                if r_cpu > EPS { b.rem_bytes / r_cpu } else { f64::INFINITY }
+            } else {
+                0.0
+            };
+            dt = dt.min(b.rem_compute_s.max(t_mem));
+        }
+        match &gpu_state {
+            FastGpu::Latency { remaining_s, .. } => dt = dt.min(*remaining_s),
+            FastGpu::Busy { rem_compute_s, rem_bytes, .. } => {
+                let t_mem = if *rem_bytes > EPS {
+                    if r_gpu > EPS { rem_bytes / r_gpu } else { f64::INFINITY }
+                } else {
+                    0.0
+                };
+                dt = dt.min(rem_compute_s.max(t_mem));
+            }
+            _ => {}
+        }
+        assert!(dt.is_finite(), "deadlock: busy agents cannot progress");
+        let dt = dt.max(0.0);
+        time += dt;
+
+        if let Some(b) = &mut cpu_run {
+            cpu_busy += dt * b.claiming as f64;
+            b.rem_compute_s = (b.rem_compute_s - dt).max(0.0);
+            b.rem_bytes = (b.rem_bytes - r_cpu * dt).max(0.0);
+            if dt > 0.0 {
+                b.fresh = false;
+            }
+            if b.rem_compute_s <= EPS && b.rem_bytes <= EPS {
+                cpu_groups += b.claiming;
+                cpu_run = None;
+            }
+        }
+        gpu_state = match gpu_state {
+            FastGpu::Latency { mut remaining_s, pending, fresh } => {
+                gpu_busy += dt;
+                remaining_s -= dt;
+                if remaining_s <= EPS {
+                    let params = input.gpu.as_ref().unwrap();
+                    let waves = (pending as f64 / params.cus as f64).ceil();
+                    let bytes = params.cost.dram_bytes * pending as f64;
+                    dram_bytes += bytes;
+                    FastGpu::Busy {
+                        rem_compute_s: params.cost.compute_s * waves,
+                        rem_bytes: bytes,
+                        groups: pending,
+                    }
+                } else {
+                    FastGpu::Latency {
+                        remaining_s,
+                        pending,
+                        fresh: fresh && dt <= 0.0,
+                    }
+                }
+            }
+            FastGpu::Busy { mut rem_compute_s, mut rem_bytes, groups } => {
+                gpu_busy += dt;
+                rem_compute_s = (rem_compute_s - dt).max(0.0);
+                rem_bytes = (rem_bytes - r_gpu * dt).max(0.0);
+                if rem_compute_s <= EPS && rem_bytes <= EPS {
+                    gpu_groups += groups;
+                    FastGpu::Idle
+                } else {
+                    FastGpu::Busy { rem_compute_s, rem_bytes, groups }
+                }
+            }
+            other => other,
+        };
+    }
+
+    let lost_groups = cpu_pool + gpu_pool + shared_pool;
+    DesReport {
+        time_s: time,
+        dram_bytes,
+        cpu_groups,
+        gpu_groups,
+        cpu_busy_s: cpu_busy,
+        gpu_busy_s: gpu_busy,
+        recovered_groups: 0,
+        lost_groups,
+        watchdog_fires: 0,
+        degraded: lost_groups > 0,
     }
 }
 

@@ -70,11 +70,15 @@ pub struct SimReport {
 pub struct Engine {
     pub platform: PlatformConfig,
     pub consts: ModelConstants,
+    /// Force the exact per-agent event loop even when the batched DES
+    /// fast path applies. Used by the equivalence suite and the perf
+    /// benchmarks to measure both paths through the same API.
+    pub exact_des_only: bool,
 }
 
 impl Engine {
     pub fn new(platform: PlatformConfig) -> Self {
-        Engine { platform, consts: ModelConstants::default() }
+        Engine { platform, consts: ModelConstants::default(), exact_des_only: false }
     }
 
     pub fn kaveri() -> Self {
@@ -180,7 +184,11 @@ impl Engine {
             schedule,
             dram_bw_gbs: self.platform.mem.dram_bw_gbs,
         };
-        let r = des::run_des_with_faults(&input, plan);
+        let r = if self.exact_des_only {
+            des::run_des_exact_with_faults(&input, plan)
+        } else {
+            des::run_des_with_faults(&input, plan)
+        };
         SimReport {
             time_s: r.time_s,
             dram_bytes: r.dram_bytes,

@@ -2,7 +2,7 @@
 
 /// An N-dimensional index space (N ≤ 3), mirroring the arguments of
 /// `clEnqueueNDRangeKernel`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NdRange {
     pub work_dim: usize,
     pub global: [usize; 3],

@@ -20,6 +20,7 @@ use crate::buffer::{ArgValue, Memory};
 use crate::interp::{run_single_items, ExecError, ExecOptions, SiteStats, TracingTracer};
 use crate::ndrange::NdRange;
 use clc::Kernel;
+use std::collections::HashSet;
 
 /// Memory access pattern classes from Table 1 of the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -140,7 +141,11 @@ pub fn profile_kernel(
     mem: &mut Memory,
 ) -> Result<KernelProfile, ExecError> {
     let total = nd.global_size();
+    // Order-preserving dedup: the Vec keeps first-touch order (windows must
+    // stay contiguous for the divergence pass), the set makes membership
+    // O(1) instead of the old O(n²) `Vec::contains` scans.
     let mut ids: Vec<usize> = Vec::new();
+    let mut seen_ids: HashSet<usize> = HashSet::new();
     for w in 0..WINDOWS {
         let base = if WINDOWS == 1 {
             0
@@ -149,7 +154,7 @@ pub fn profile_kernel(
         };
         for i in 0..WINDOW_WIDTH.min(total) {
             let id = base + i;
-            if id < total && !ids.contains(&id) {
+            if id < total && seen_ids.insert(id) {
                 ids.push(id);
             }
         }
@@ -168,9 +173,10 @@ pub fn profile_kernel(
     // Union of sites over all items, in first-touch order of the first item
     // that saw them.
     let mut site_keys: Vec<usize> = Vec::new();
+    let mut seen_keys: HashSet<usize> = HashSet::new();
     for t in &tracers {
         for &k in &t.site_order {
-            if !site_keys.contains(&k) {
+            if seen_keys.insert(k) {
                 site_keys.push(k);
             }
         }

@@ -62,6 +62,7 @@ OPTIONS (run):
   --compare            also report CPU / GPU / ALL baselines and the oracle
   --show-malleable     print the malleable GPU rewrite
   --show-cpu           print the generated CPU code
+  --no-launch-cache    disable the enqueue decision cache (profile every launch)
 
 FAULT INJECTION (run; exercise the watchdog / degradation machinery):
   --inject-gpu-hang N        hang the GPU at its Nth chunk dispatch (0-based)
@@ -85,6 +86,7 @@ struct Options {
     compare: bool,
     show_malleable: bool,
     show_cpu: bool,
+    no_launch_cache: bool,
     faults: FaultPlan,
 }
 
@@ -113,6 +115,7 @@ fn parse_options(argv: &[String]) -> Result<Options, String> {
         compare: false,
         show_malleable: false,
         show_cpu: false,
+        no_launch_cache: false,
         faults: FaultPlan::none(),
     };
     let mut it = argv.iter().peekable();
@@ -148,6 +151,7 @@ fn parse_options(argv: &[String]) -> Result<Options, String> {
             "--compare" => opts.compare = true,
             "--show-malleable" => opts.show_malleable = true,
             "--show-cpu" => opts.show_cpu = true,
+            "--no-launch-cache" => opts.no_launch_cache = true,
             "--inject-gpu-hang" => {
                 let n = value(&mut it, a)?.parse().map_err(|e| format!("{}: {}", a, e))?;
                 opts.faults.gpu_hang_at_dispatch = Some(n);
@@ -225,6 +229,9 @@ fn run(argv: &[String], sweep: bool) -> ExitCode {
     };
     let platform_name = engine.platform.name.clone();
     let mut dopia = Dopia::new(engine, model);
+    if opts.no_launch_cache {
+        dopia.set_launch_cache_enabled(false);
+    }
     if opts.faults != FaultPlan::none() {
         if let Some(t) = opts.faults.watchdog_timeout_s {
             if !t.is_finite() || t <= 0.0 {
@@ -371,6 +378,15 @@ fn run(argv: &[String], sweep: bool) -> ExitCode {
             result.health.transient_retries,
         );
     }
+    let cache = dopia.cache_stats();
+    println!(
+        "cache    : {} (hits {} / misses {} / evictions {} / invalidations {})",
+        if dopia.launch_cache_enabled() { "on" } else { "off (--no-launch-cache)" },
+        cache.hits,
+        cache.misses,
+        cache.evictions,
+        cache.invalidations,
+    );
 
     if opts.compare {
         let profile = match dopia.profile(prepared, &args, nd, &mut mem) {
