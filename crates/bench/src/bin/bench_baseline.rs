@@ -154,7 +154,8 @@ fn main() {
         enqueue_cold_s / enqueue_hit_s,
     );
     std::fs::create_dir_all("results").expect("create results/");
-    std::fs::write("results/BENCH_baseline.json", &json).expect("write baseline");
+    ml::io::atomic_write(std::path::Path::new("results/BENCH_baseline.json"), json.as_bytes())
+        .expect("write baseline");
     println!("wrote results/BENCH_baseline.json");
     assert!(
         sweep_speedup >= 5.0,

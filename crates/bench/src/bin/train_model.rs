@@ -48,7 +48,7 @@ fn main() {
                 engine.platform.name.to_lowercase(),
                 kind.label().to_lowercase()
             ));
-            std::fs::write(&path, &text).expect("write model");
+            ml::io::atomic_write(&path, text.as_bytes()).expect("write model");
             println!(
                 "  {:<4} trained in {:>6.2}s -> {} ({} bytes)",
                 kind.label(),

@@ -3,7 +3,6 @@
 //! first run persists it under `results/cache/`.
 
 use dopia_core::training::WorkloadRecord;
-use dopia_core::CodeFeatures;
 use std::path::PathBuf;
 
 fn cache_path(platform: &str, step: usize) -> PathBuf {
@@ -12,62 +11,37 @@ fn cache_path(platform: &str, step: usize) -> PathBuf {
     dir.join(format!("grid_{}_step{}.tsv", platform.to_lowercase(), step))
 }
 
-/// Serialize records (one line per workload).
+/// Serialize records (one line per workload). The file gets a checksum
+/// header and lands via temp-file + atomic rename, so a crash mid-sweep
+/// can never leave a torn cache that silently skews later experiments.
 pub fn save(platform: &str, step: usize, records: &[WorkloadRecord]) {
     let mut text = String::new();
     for r in records {
-        let times: Vec<String> = r.times.iter().map(|t| format!("{:e}", t)).collect();
-        text.push_str(&format!(
-            "{}\t{} {} {} {} {} {}\t{}\t{}\t{}\t{}\t{}\n",
-            r.name,
-            r.code.mem_constant,
-            r.code.mem_continuous,
-            r.code.mem_stride,
-            r.code.mem_random,
-            r.code.arith_int,
-            r.code.arith_float,
-            r.work_dim,
-            r.global_size,
-            r.local_size,
-            r.best_index,
-            times.join(","),
-        ));
+        text.push_str(&r.to_tsv());
+        text.push('\n');
     }
-    std::fs::write(cache_path(platform, step), text).expect("write grid cache");
+    let with_header =
+        format!("# dopia-grid v1 crc32={:08x}\n{}", ml::io::crc32(text.as_bytes()), text);
+    ml::io::atomic_write(&cache_path(platform, step), with_header.as_bytes())
+        .expect("write grid cache");
 }
 
-/// Load records if a cache exists and parses cleanly.
+/// Load records if a cache exists and parses cleanly. A `# dopia-grid`
+/// checksum header is verified when present; headerless caches written by
+/// older versions still load.
 pub fn load(platform: &str, step: usize) -> Option<Vec<WorkloadRecord>> {
-    let text = std::fs::read_to_string(cache_path(platform, step)).ok()?;
+    let mut text = std::fs::read_to_string(cache_path(platform, step)).ok()?;
+    if let Some(header) = text.lines().next().filter(|l| l.starts_with('#')) {
+        let want = u32::from_str_radix(header.rsplit("crc32=").next()?, 16).ok()?;
+        let body = text.split_once('\n').map(|(_, b)| b.to_string()).unwrap_or_default();
+        if ml::io::crc32(body.as_bytes()) != want {
+            return None;
+        }
+        text = body;
+    }
     let mut records = Vec::new();
     for line in text.lines() {
-        let fields: Vec<&str> = line.split('\t').collect();
-        if fields.len() != 7 {
-            return None;
-        }
-        let code_parts: Vec<u32> =
-            fields[1].split(' ').map(|v| v.parse().ok()).collect::<Option<_>>()?;
-        if code_parts.len() != 6 {
-            return None;
-        }
-        let times: Vec<f64> =
-            fields[6].split(',').map(|v| v.parse().ok()).collect::<Option<_>>()?;
-        records.push(WorkloadRecord {
-            name: fields[0].to_string(),
-            code: CodeFeatures {
-                mem_constant: code_parts[0],
-                mem_continuous: code_parts[1],
-                mem_stride: code_parts[2],
-                mem_random: code_parts[3],
-                arith_int: code_parts[4],
-                arith_float: code_parts[5],
-            },
-            work_dim: fields[2].parse().ok()?,
-            global_size: fields[3].parse().ok()?,
-            local_size: fields[4].parse().ok()?,
-            best_index: fields[5].parse().ok()?,
-            times,
-        });
+        records.push(WorkloadRecord::from_tsv(line)?);
     }
     Some(records)
 }
@@ -75,6 +49,7 @@ pub fn load(platform: &str, step: usize) -> Option<Vec<WorkloadRecord>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dopia_core::CodeFeatures;
 
     #[test]
     fn round_trips_records() {
@@ -103,6 +78,19 @@ mod tests {
         assert_eq!(loaded[0].code, records[0].code);
         assert_eq!(loaded[0].best_index, 1);
         assert!(load("TestPlat", 4).is_none());
+
+        // Flip a byte in the body: the checksum header must reject it.
+        let path = cache_path("TestPlat", 3);
+        let corrupt = std::fs::read_to_string(&path).unwrap().replacen("w1", "wX", 1);
+        std::fs::write(&path, corrupt).unwrap();
+        assert!(load("TestPlat", 3).is_none(), "corrupt cache was accepted");
+
+        // A headerless (pre-checksum) cache still loads.
+        save("TestPlat", 3, &records);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let body = text.split_once('\n').unwrap().1.to_string();
+        std::fs::write(&path, body).unwrap();
+        assert!(load("TestPlat", 3).is_some(), "legacy cache failed to load");
         std::env::remove_var("DOPIA_RESULTS_DIR");
     }
 }

@@ -1,21 +1,36 @@
 //! Minimal CSV writing (quote-free fields only — names and numbers).
+//!
+//! Rows accumulate in a sibling temp file; the real path only appears via
+//! an atomic rename when the writer is finished (or dropped), so a crash
+//! mid-experiment never leaves a truncated CSV for plotting scripts to
+//! silently chart.
 
 use std::fs::File;
 use std::io::{BufWriter, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// A simple CSV writer.
 pub struct CsvWriter {
-    out: BufWriter<File>,
+    out: Option<BufWriter<File>>,
+    tmp: PathBuf,
+    path: PathBuf,
     columns: usize,
 }
 
 impl CsvWriter {
-    /// Create `path` and write the header row.
+    /// Start writing `path` (via a temp file) and emit the header row.
     pub fn create(path: &Path, header: &[&str]) -> std::io::Result<CsvWriter> {
-        let mut out = BufWriter::new(File::create(path)?);
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(format!(".tmp.{}", std::process::id()));
+        let tmp = PathBuf::from(tmp);
+        let mut out = BufWriter::new(File::create(&tmp)?);
         writeln!(out, "{}", header.join(","))?;
-        Ok(CsvWriter { out, columns: header.len() })
+        Ok(CsvWriter {
+            out: Some(out),
+            tmp,
+            path: path.to_path_buf(),
+            columns: header.len(),
+        })
     }
 
     /// Write one row (must match the header width).
@@ -25,7 +40,8 @@ impl CsvWriter {
             fields.iter().all(|f| !f.contains(',') && !f.contains('\n')),
             "fields must not need quoting"
         );
-        writeln!(self.out, "{}", fields.join(","))
+        let out = self.out.as_mut().expect("CsvWriter already finished");
+        writeln!(out, "{}", fields.join(","))
     }
 
     /// Convenience: a name plus numeric fields.
@@ -33,6 +49,29 @@ impl CsvWriter {
         let mut fields = vec![name.to_string()];
         fields.extend(values.iter().map(|v| format!("{}", v)));
         self.row(&fields)
+    }
+
+    /// Flush, fsync, and atomically rename the temp file into place.
+    pub fn finish(mut self) -> std::io::Result<()> {
+        self.publish()
+    }
+
+    fn publish(&mut self) -> std::io::Result<()> {
+        let Some(mut out) = self.out.take() else { return Ok(()) };
+        let result = out
+            .flush()
+            .and_then(|_| out.get_ref().sync_all())
+            .and_then(|_| std::fs::rename(&self.tmp, &self.path));
+        if result.is_err() {
+            let _ = std::fs::remove_file(&self.tmp);
+        }
+        result
+    }
+}
+
+impl Drop for CsvWriter {
+    fn drop(&mut self) {
+        let _ = self.publish();
     }
 }
 
@@ -45,12 +84,35 @@ mod tests {
         let dir = std::env::temp_dir().join("dopia_csv_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("t.csv");
+        let _ = std::fs::remove_file(&path);
         {
             let mut w = CsvWriter::create(&path, &["name", "a", "b"]).unwrap();
             w.row_mixed("x", &[1.0, 2.5]).unwrap();
+            // Still buffered in the temp file: nothing published yet.
+            assert!(!path.exists());
         }
         let text = std::fs::read_to_string(&path).unwrap();
         assert_eq!(text, "name,a,b\nx,1,2.5\n");
+    }
+
+    #[test]
+    fn finish_publishes_atomically_and_cleans_temp() {
+        let dir = std::env::temp_dir().join("dopia_csv_test3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        std::fs::write(&path, "old contents\n").unwrap();
+        let mut w = CsvWriter::create(&path, &["a"]).unwrap();
+        w.row(&["1".into()]).unwrap();
+        // Old file intact until finish().
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "old contents\n");
+        w.finish().unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "a\n1\n");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left behind: {:?}", leftovers);
     }
 
     #[test]

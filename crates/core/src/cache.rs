@@ -185,6 +185,17 @@ impl DecisionCache {
         self.stats.invalidations += (before - self.map.len()) as u64;
     }
 
+    /// Drop every entry for a kernel. The supervision layer calls this
+    /// when a kernel's model predictions enter quarantine: the cached
+    /// selections were produced by a model now known to mispredict for
+    /// that kernel, so replaying them would pin the bad decision past the
+    /// quarantine.
+    pub fn invalidate_kernel(&mut self, kernel_id: u64) {
+        let before = self.map.len();
+        self.map.retain(|k, _| k.kernel_id != kernel_id);
+        self.stats.invalidations += (before - self.map.len()) as u64;
+    }
+
     pub fn clear(&mut self) {
         self.map.clear();
     }
@@ -278,6 +289,24 @@ mod tests {
         assert!(cache.get(&ka).is_none());
         assert!(cache.get(&kb).is_some());
         assert_eq!(cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn kernel_invalidation_removes_every_entry_for_that_kernel() {
+        let mut mem = Memory::new();
+        let a = mem.alloc_f32(vec![0.0; 16]);
+        let mut cache = DecisionCache::new(8);
+        let k1a = key(&mem, 1, &[ArgValue::Buffer(a)]);
+        let k1b = key(&mem, 1, &[ArgValue::Buffer(a), ArgValue::Int(9)]);
+        let k2 = key(&mem, 2, &[ArgValue::Buffer(a)]);
+        cache.insert(k1a.clone(), CachedDecision { profile: profile(), selection: None });
+        cache.insert(k1b.clone(), CachedDecision { profile: profile(), selection: None });
+        cache.insert(k2.clone(), CachedDecision { profile: profile(), selection: None });
+        cache.invalidate_kernel(1);
+        assert!(cache.get(&k1a).is_none());
+        assert!(cache.get(&k1b).is_none());
+        assert!(cache.get(&k2).is_some(), "other kernels untouched");
+        assert_eq!(cache.stats().invalidations, 2);
     }
 
     #[test]

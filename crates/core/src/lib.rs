@@ -65,6 +65,7 @@ pub mod model;
 pub mod oracle;
 pub mod queue;
 pub mod runtime;
+pub mod supervision;
 pub mod training;
 
 pub use cache::{CacheStats, DecisionCache, LaunchKey};
@@ -73,4 +74,8 @@ pub use features::{CodeFeatures, FeatureVector};
 pub use model::PerfModel;
 pub use queue::{CommandQueue, QueueSummary};
 pub use runtime::{DegradedMode, Dopia, DopiaError, LaunchResult, Program, RuntimeHealth};
+pub use supervision::{
+    BreakerState, CircuitBreaker, DevicePin, LaunchGuidance, MispredictionMonitor,
+    SupervisionConfig, SupervisionStats, Supervisor,
+};
 pub use training::TrainingOptions;

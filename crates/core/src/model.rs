@@ -129,6 +129,41 @@ impl PerfModel {
     }
 }
 
+/// Model-free DoP selection from code features alone — the baseline the
+/// supervision layer falls back to while a kernel's model is quarantined.
+///
+/// The rule mirrors the paper's observation about integrated-GPU kernels:
+/// memory-bound kernels share DRAM bandwidth anyway, so co-executing on
+/// every CPU core plus half the GPU CUs wins or ties; compute-bound
+/// kernels belong on the GPU at full DoP. A kernel is called memory-bound
+/// when its memory operations outnumber its arithmetic ones.
+///
+/// The returned selection is flagged `fallback` with a `NaN` prediction —
+/// it carries no model output, so the misprediction monitor will not score
+/// it (and the launch cache will not store it).
+pub fn heuristic_select(code: CodeFeatures, space: &[DopPoint], max_cores: usize) -> Selection {
+    assert!(!space.is_empty());
+    let mem_ops = code.mem_total() as u64;
+    let arith_ops = (code.arith_int + code.arith_float) as u64;
+    let (want_cpu, want_gpu) = if mem_ops > arith_ops {
+        (max_cores, 4)
+    } else {
+        (0, 8)
+    };
+    let index = space
+        .iter()
+        .position(|p| p.cpu_cores == want_cpu && p.gpu_eighths == want_gpu)
+        .or_else(|| space.iter().position(|p| p.cpu_util == 0.0 && p.gpu_util >= 1.0))
+        .unwrap_or(space.len() - 1);
+    Selection {
+        index,
+        point: space[index],
+        predicted: f64::NAN,
+        inference_s: 0.0,
+        fallback: true,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,6 +259,37 @@ mod tests {
         let sel = model.select_config(CodeFeatures::default(), 1, 16384, 256, &space);
         assert!(!sel.fallback);
         assert!(sel.predicted.is_finite());
+    }
+
+    #[test]
+    fn heuristic_splits_memory_bound_from_compute_bound() {
+        let platform = PlatformConfig::kaveri();
+        let space = config_space(&platform);
+        let cores = platform.cpu.cores;
+
+        let memory_bound = CodeFeatures {
+            mem_continuous: 8,
+            mem_random: 2,
+            arith_int: 3,
+            ..CodeFeatures::default()
+        };
+        let sel = heuristic_select(memory_bound, &space, cores);
+        assert_eq!(sel.point.cpu_cores, cores, "memory-bound co-executes");
+        assert_eq!(sel.point.gpu_eighths, 4);
+        assert!(sel.fallback);
+        assert!(sel.predicted.is_nan());
+        assert_eq!(space[sel.index], sel.point);
+
+        let compute_bound = CodeFeatures {
+            mem_continuous: 2,
+            arith_float: 16,
+            arith_int: 4,
+            ..CodeFeatures::default()
+        };
+        let sel = heuristic_select(compute_bound, &space, cores);
+        assert_eq!(sel.point.cpu_cores, 0, "compute-bound goes GPU-only");
+        assert_eq!(sel.point.gpu_eighths, 8);
+        assert!(sel.fallback);
     }
 
     #[test]

@@ -18,7 +18,10 @@ use crate::cache::{CacheStats, CachedDecision, DecisionCache, LaunchKey};
 use crate::codegen::{generate_cpu_source, malleable::transform_malleable};
 use crate::configs::{config_space, find_config, DopPoint};
 use crate::features::{extract_code_features, CodeFeatures};
-use crate::model::{PerfModel, Selection};
+use crate::model::{heuristic_select, PerfModel, Selection};
+use crate::supervision::{
+    DevicePin, LaunchEvents, SupervisionConfig, SupervisionStats, Supervisor,
+};
 use sim::fault::FaultPlan;
 use sim::{ArgValue, BufferId, Engine, KernelProfile, Memory, NdRange, Schedule, SimReport};
 use std::fmt;
@@ -173,6 +176,20 @@ pub struct RuntimeHealth {
     /// Launches that missed the decision cache and paid the full
     /// characterization cost. Informational.
     pub launch_cache_misses: u32,
+    /// Work-groups a launch deadline reclaimed from a straggling dispatch
+    /// and a surviving device completed (supervision layer).
+    pub redispatched_groups: u32,
+    /// Device circuit breakers tripped open by launch outcomes.
+    pub breaker_trips: u32,
+    /// Launches pinned to one device's static config because the other
+    /// device's breaker was open.
+    pub breaker_pinned_launches: u32,
+    /// Kernel classes whose model entered quarantine (misprediction EWMA
+    /// over threshold).
+    pub model_quarantines: u32,
+    /// Launches served by the feature heuristic because the kernel's
+    /// model was quarantined.
+    pub quarantined_launches: u32,
 }
 
 impl RuntimeHealth {
@@ -184,16 +201,28 @@ impl RuntimeHealth {
         self.watchdog_recoveries += other.watchdog_recoveries;
         self.launch_cache_hits += other.launch_cache_hits;
         self.launch_cache_misses += other.launch_cache_misses;
+        self.redispatched_groups += other.redispatched_groups;
+        self.breaker_trips += other.breaker_trips;
+        self.breaker_pinned_launches += other.breaker_pinned_launches;
+        self.model_quarantines += other.model_quarantines;
+        self.quarantined_launches += other.quarantined_launches;
     }
 
     /// `true` when nothing went wrong anywhere. Only the fault counters
     /// matter here — cache hits/misses are normal operation, not absorbed
-    /// failures.
+    /// failures. Every supervision intervention (a redispatch, a breaker
+    /// trip, a pinned or quarantined launch) counts: it means something
+    /// *did* go wrong, even though the launch completed.
     pub fn is_nominal(&self) -> bool {
         self.prediction_fallbacks == 0
             && self.degraded_launches == 0
             && self.transient_retries == 0
             && self.watchdog_recoveries == 0
+            && self.redispatched_groups == 0
+            && self.breaker_trips == 0
+            && self.breaker_pinned_launches == 0
+            && self.model_quarantines == 0
+            && self.quarantined_launches == 0
     }
 }
 
@@ -243,6 +272,9 @@ pub struct Dopia {
     launch_cache: Mutex<DecisionCache>,
     /// Runtime toggle for the launch cache (CLI `--no-launch-cache`).
     cache_enabled: AtomicBool,
+    /// Self-healing supervision: circuit breakers, launch deadlines and
+    /// model quarantine (see [`crate::supervision`]).
+    supervisor: Mutex<Supervisor>,
 }
 
 impl Dopia {
@@ -257,7 +289,26 @@ impl Dopia {
             profile_failures_left: AtomicU32::new(0),
             launch_cache: Mutex::new(DecisionCache::default()),
             cache_enabled: AtomicBool::new(true),
+            supervisor: Mutex::new(Supervisor::new(SupervisionConfig::default())),
         }
+    }
+
+    /// Replace the supervision layer with a fresh one under `config`
+    /// (resets breaker and quarantine state; CLI `--no-supervision`,
+    /// `--breaker-threshold`, `--deadline-factor`).
+    pub fn set_supervision_config(&self, config: SupervisionConfig) {
+        *self.supervisor.lock().unwrap() = Supervisor::new(config);
+    }
+
+    /// The active supervision tunables.
+    pub fn supervision_config(&self) -> SupervisionConfig {
+        self.supervisor.lock().unwrap().config()
+    }
+
+    /// Point-in-time supervision state (breaker states, trip and
+    /// quarantine totals) for health reports.
+    pub fn supervision_stats(&self) -> SupervisionStats {
+        self.supervisor.lock().unwrap().stats()
     }
 
     pub fn engine(&self) -> &Engine {
@@ -383,6 +434,14 @@ impl Dopia {
     /// cache-lookup wall time as `selection.inference_s`, keeping the
     /// paper's overhead accounting honest. Degraded kernels bypass the
     /// cache (they have no model selection worth memoizing).
+    ///
+    /// Every launch first consults the supervision layer: an open device
+    /// breaker pins the launch to the surviving device's static config, a
+    /// quarantined model is replaced by the feature heuristic, and a
+    /// deadline (when the kernel class has launch history) arms straggler
+    /// re-dispatch in the DES. Supervised overrides bypass the decision
+    /// cache in *both* directions — they neither read nor write it — so a
+    /// decision made under a fault never outlives the fault.
     pub fn enqueue_nd_range_kernel(
         &self,
         program: &Program,
@@ -395,10 +454,52 @@ impl Dopia {
             .kernel(kernel_name)
             .ok_or_else(|| DopiaError::UnknownKernel(kernel_name.to_string()))?;
         nd.validate().map_err(DopiaError::InvalidLaunch)?;
+        let groups = nd.num_groups();
+        let guidance = self.supervisor.lock().unwrap().begin_launch(prepared.id, groups);
 
-        if prepared.is_degraded() || !self.cache_enabled.load(Ordering::Relaxed) {
+        // Degraded kernels have no alternative device and no model: the
+        // supervisor only observes (its outcomes still feed the GPU
+        // breaker other kernels consult).
+        if prepared.is_degraded() {
             let profile = self.profile(prepared, args, nd, mem)?;
-            return Ok(self.launch_with_profile(prepared, &profile, nd));
+            let mut result = self.launch_degraded(&profile, nd);
+            self.observe_launch(prepared.id, groups, &mut result);
+            return Ok(result);
+        }
+
+        // Supervision override: an open breaker pins the device choice, a
+        // quarantined model yields to the feature heuristic. Either way
+        // the decision is fault-driven, not launch-driven — bypass the
+        // cache entirely so it is neither served stale nor recorded.
+        let override_selection = if let Some(pin) = guidance.pin {
+            Some((self.pinned_selection(pin), true))
+        } else if !guidance.use_model {
+            let cores = self.engine.platform.cpu.cores;
+            Some((heuristic_select(prepared.features, &self.space, cores), false))
+        } else {
+            None
+        };
+        if let Some((selection, pinned)) = override_selection {
+            let profile = self.profile(prepared, args, nd, mem)?;
+            let mut result =
+                self.launch_with_selection(&profile, nd, selection, guidance.deadline_s);
+            // The override is supervision healing, not a broken model.
+            result.health.prediction_fallbacks = 0;
+            if pinned {
+                result.health.breaker_pinned_launches = 1;
+            } else {
+                result.health.quarantined_launches = 1;
+            }
+            self.observe_launch(prepared.id, groups, &mut result);
+            return Ok(result);
+        }
+
+        if !self.cache_enabled.load(Ordering::Relaxed) {
+            let profile = self.profile(prepared, args, nd, mem)?;
+            let mut result =
+                self.launch_selected(prepared, &profile, nd, guidance.deadline_s);
+            self.observe_launch(prepared.id, groups, &mut result);
+            return Ok(result);
         }
 
         let lookup_start = Instant::now();
@@ -407,24 +508,92 @@ impl Dopia {
         if let Some(hit) = cached {
             if let Some(mut selection) = hit.selection {
                 selection.inference_s = lookup_start.elapsed().as_secs_f64();
-                let mut result = self.launch_with_selection(&hit.profile, nd, selection);
+                let mut result =
+                    self.launch_with_selection(&hit.profile, nd, selection, guidance.deadline_s);
                 result.health.launch_cache_hits = 1;
+                self.observe_launch(prepared.id, groups, &mut result);
                 return Ok(result);
             }
         }
 
         let profile = self.profile(prepared, args, nd, mem)?;
-        let mut result = self.launch_with_profile(prepared, &profile, nd);
+        let mut result = self.launch_selected(prepared, &profile, nd, guidance.deadline_s);
         result.health.launch_cache_misses = 1;
-        // Fallback selections come from a model gone wrong, not from the
-        // launch itself — don't freeze them into the cache.
-        if !result.selection.fallback {
+        let events = self.observe_launch(prepared.id, groups, &mut result);
+        // Fallback selections come from a model gone wrong, and a launch
+        // that just quarantined its model was steered by predictions now
+        // known bad — neither may be frozen into the cache.
+        if !result.selection.fallback && !events.quarantine_entered {
             self.launch_cache.lock().unwrap().insert(
                 key,
                 CachedDecision { profile, selection: Some(result.selection) },
             );
         }
         Ok(result)
+    }
+
+    /// Model selection + supervised co-execution (the cache-miss tail).
+    fn launch_selected(
+        &self,
+        prepared: &PreparedKernel,
+        profile: &KernelProfile,
+        nd: NdRange,
+        deadline_s: Option<f64>,
+    ) -> LaunchResult {
+        let selection = self.model.select_config(
+            prepared.features,
+            nd.work_dim,
+            nd.global_size(),
+            nd.local_size(),
+            &self.space,
+        );
+        self.launch_with_selection(profile, nd, selection, deadline_s)
+    }
+
+    /// Feed a completed launch back into the supervisor and fold the
+    /// resulting supervision counters into the launch's health. A model
+    /// entering quarantine also invalidates the kernel's cached decisions
+    /// — they were produced by the now-distrusted predictions.
+    fn observe_launch(
+        &self,
+        kernel_id: u64,
+        groups: usize,
+        result: &mut LaunchResult,
+    ) -> LaunchEvents {
+        let point = result.selection.point;
+        let events = self.supervisor.lock().unwrap().observe_launch(
+            kernel_id,
+            groups,
+            point.cpu_cores > 0,
+            point.gpu_eighths > 0,
+            result.selection.predicted,
+            &result.report,
+        );
+        result.health.redispatched_groups = result.report.redispatched_groups as u32;
+        result.health.breaker_trips = events.breaker_trips;
+        result.health.model_quarantines = events.quarantine_entered as u32;
+        if events.quarantine_entered {
+            self.launch_cache.lock().unwrap().invalidate_kernel(kernel_id);
+        }
+        events
+    }
+
+    /// The static config a breaker-pinned launch runs at: every core of
+    /// the surviving device, nothing on the broken one.
+    fn pinned_selection(&self, pin: DevicePin) -> Selection {
+        let index = match pin {
+            DevicePin::Cpu => find_config(&self.space, self.engine.platform.cpu.cores, 0)
+                .unwrap_or_else(|| nearest_config(&self.space, 1.0, 0.0)),
+            DevicePin::Gpu => find_config(&self.space, 0, 8)
+                .unwrap_or_else(|| nearest_config(&self.space, 0.0, 1.0)),
+        };
+        Selection {
+            index,
+            point: self.space[index],
+            predicted: f64::NAN, // no model was consulted
+            inference_s: 0.0,
+            fallback: true,
+        }
     }
 
     /// Characterize a launch (separated so sweeps can reuse the profile).
@@ -455,39 +624,39 @@ impl Dopia {
         profile: &KernelProfile,
         nd: NdRange,
     ) -> LaunchResult {
-        let no_faults = FaultPlan::none();
-        let plan = self.fault_plan.as_ref().unwrap_or(&no_faults);
         if prepared.is_degraded() {
-            return self.launch_degraded(profile, nd, plan);
+            return self.launch_degraded(profile, nd);
         }
-        let selection = self.model.select_config(
-            prepared.features,
-            nd.work_dim,
-            nd.global_size(),
-            nd.local_size(),
-            &self.space,
-        );
-        self.launch_with_selection(profile, nd, selection)
+        self.launch_selected(prepared, profile, nd, None)
     }
 
     /// Simulated co-execution at an already-selected configuration — the
-    /// shared tail of the miss path (fresh selection) and the hit path
-    /// (cached selection).
+    /// shared tail of the miss path (fresh selection), the hit path
+    /// (cached selection) and the supervised override paths. `deadline_s`
+    /// (from the supervisor's per-class launch history) arms straggler
+    /// re-dispatch in the DES.
     fn launch_with_selection(
         &self,
         profile: &KernelProfile,
         nd: NdRange,
         selection: Selection,
+        deadline_s: Option<f64>,
     ) -> LaunchResult {
         let no_faults = FaultPlan::none();
         let plan = self.fault_plan.as_ref().unwrap_or(&no_faults);
-        let report = self.engine.simulate_with_faults(
+        // Straggler re-dispatch moves reclaimed work to the *other*
+        // device; a single-device configuration has no survivor, so a
+        // deadline there could only lose work it would otherwise finish.
+        let deadline_s = deadline_s
+            .filter(|_| selection.point.cpu_cores > 0 && selection.point.gpu_eighths > 0);
+        let report = self.engine.simulate_supervised(
             profile,
             &nd,
             selection.point.dop(),
             Schedule::Dynamic { chunk_divisor: self.chunk_divisor },
             true, // Dopia always runs the malleable GPU kernel
             plan,
+            deadline_s,
         );
         let health = RuntimeHealth {
             prediction_fallbacks: selection.fallback as u32,
@@ -506,15 +675,13 @@ impl Dopia {
     /// The reduced launch path for [`DegradedMode::GpuOriginalOnly`]
     /// kernels: the original kernel, GPU alone, one static dispatch, no
     /// model sweep — exactly what an unmanaged OpenCL runtime would do.
-    fn launch_degraded(
-        &self,
-        profile: &KernelProfile,
-        nd: NdRange,
-        plan: &FaultPlan,
-    ) -> LaunchResult {
+    fn launch_degraded(&self, profile: &KernelProfile, nd: NdRange) -> LaunchResult {
+        let no_faults = FaultPlan::none();
+        let plan = self.fault_plan.as_ref().unwrap_or(&no_faults);
         // The GPU-only full-DoP point always exists in the Table 3 space;
         // nearest_config covers hypothetical reduced spaces without a
-        // panic path.
+        // panic path. No deadline: a single-device run has no survivor to
+        // re-dispatch stragglers to.
         let index = find_config(&self.space, 0, 8)
             .unwrap_or_else(|| nearest_config(&self.space, 0.0, 1.0));
         let point = self.space[index];

@@ -12,6 +12,12 @@
 //! The per-family bodies are produced by each model's `to_lines` and parsed
 //! by its `from_lines`; parsing validates structure so corrupt files fail
 //! loudly at load time rather than at inference time.
+//!
+//! Files written by [`save`] additionally carry a `crc32=XXXXXXXX` token on
+//! the header line covering the body, and are written via a temp file +
+//! atomic rename so a crash mid-save can never leave a torn model on disk.
+//! Files without the token (written by older versions, or by hand) still
+//! load.
 
 use crate::dtree::DecisionTree;
 use crate::forest::RandomForest;
@@ -22,21 +28,70 @@ use std::path::Path;
 
 const MAGIC: &str = "dopia-model v1";
 
-/// Serialize a trained model of a known family to the text format.
-pub fn to_string(kind: ModelKind, model: &dyn SerializableModel) -> String {
-    let mut lines = vec![format!("{} {}", MAGIC, kind.label())];
-    lines.extend(model.to_lines());
-    lines.join("\n") + "\n"
+/// IEEE CRC-32 (the zlib/PNG polynomial), bitwise — fast enough for the
+/// few-hundred-KB model and result files this workspace writes.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
 }
 
-/// Parse a model from the text format.
+/// Write `contents` to `path` crash-safely: the bytes land in a sibling
+/// temp file which is fsync'd and then atomically renamed over the target,
+/// so readers observe either the old file or the complete new one — never
+/// a torn prefix.
+pub fn atomic_write(path: &Path, contents: &[u8]) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(contents)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Serialize a trained model of a known family to the text format,
+/// including the body checksum in the header.
+pub fn to_string(kind: ModelKind, model: &dyn SerializableModel) -> String {
+    let body = model.to_lines().join("\n") + "\n";
+    format!("{} {} crc32={:08x}\n{}", MAGIC, kind.label(), crc32(body.as_bytes()), body)
+}
+
+/// Parse a model from the text format. A `crc32=` token in the header is
+/// verified against the body; headers without one are accepted as-is.
 pub fn from_string(text: &str) -> Result<(ModelKind, Box<dyn Regressor>), String> {
     let mut lines = text.lines();
     let header = lines.next().ok_or("empty model file")?;
-    let label = header
+    let mut label = header
         .strip_prefix(MAGIC)
         .ok_or_else(|| format!("bad magic `{}`", header))?
         .trim();
+    if let Some((kind_part, crc_part)) = label.split_once(' ') {
+        let want = crc_part
+            .trim()
+            .strip_prefix("crc32=")
+            .ok_or_else(|| format!("bad header token `{}`", crc_part.trim()))?;
+        let want = u32::from_str_radix(want, 16).map_err(|e| format!("bad crc32: {}", e))?;
+        let body_start = text.find('\n').map(|i| i + 1).unwrap_or(text.len());
+        let got = crc32(&text.as_bytes()[body_start..]);
+        if got != want {
+            return Err(format!("checksum mismatch: header {:08x}, body {:08x}", want, got));
+        }
+        label = kind_part;
+    }
     let kind = match label {
         "LIN" => ModelKind::Lin,
         "SVR" => ModelKind::Svr,
@@ -53,9 +108,9 @@ pub fn from_string(text: &str) -> Result<(ModelKind, Box<dyn Regressor>), String
     Ok((kind, model))
 }
 
-/// Save to a file.
+/// Save to a file (temp file + atomic rename; see [`atomic_write`]).
 pub fn save(path: &Path, kind: ModelKind, model: &dyn SerializableModel) -> std::io::Result<()> {
-    std::fs::write(path, to_string(kind, model))
+    atomic_write(path, to_string(kind, model).as_bytes())
 }
 
 /// Load from a file.
@@ -161,6 +216,40 @@ mod tests {
         assert!(from_string("dopia-model v1 DT\nnodes 2\nL 1.0\n").is_err()); // truncated
         assert!(from_string("dopia-model v1 DT\nnodes 1\nS 0 1.0 5 6\n").is_err()); // bad child
         assert!(from_string("dopia-model v1 LIN\ncoeffs 1 2\nstats 0 1 0 1\n").is_err()); // shape
+    }
+
+    #[test]
+    fn checksum_catches_a_flipped_bit_and_legacy_files_still_load() {
+        let data = dataset();
+        let (_, text) = train_serialized(ModelKind::Lin, &data, 5);
+        assert!(text.lines().next().unwrap().contains("crc32="));
+        // Corrupt one body byte: the checksum must reject it.
+        let corrupt = text.replacen("coeffs", "coefgs", 1);
+        match from_string(&corrupt) {
+            Err(e) => assert!(e.contains("checksum mismatch"), "{}", e),
+            Ok(_) => panic!("corrupt body was accepted"),
+        }
+        // A pre-checksum header (no crc32 token) still loads.
+        let body_start = text.find('\n').unwrap() + 1;
+        let legacy = format!("dopia-model v1 LIN\n{}", &text[body_start..]);
+        assert!(from_string(&legacy).is_ok());
+        assert!(from_string("dopia-model v1 LIN bogus=1\nx\n").is_err());
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_temp_behind() {
+        let dir = std::env::temp_dir().join("dopia_atomic_write");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.txt");
+        atomic_write(&path, b"first").unwrap();
+        atomic_write(&path, b"second").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left behind: {:?}", leftovers);
     }
 
     #[test]

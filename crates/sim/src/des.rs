@@ -81,10 +81,15 @@ pub struct DesReport {
     pub gpu_busy_s: f64,
     /// Work-groups reclaimed from a hung/stalled agent by the watchdog and
     /// completed by a surviving agent. Disjoint from `cpu_groups` /
-    /// `gpu_groups`: every group is counted in exactly one of the three,
-    /// so `cpu_groups + gpu_groups + recovered_groups + lost_groups`
-    /// always equals the input `num_groups`.
+    /// `gpu_groups` / `redispatched_groups`: every group is counted in
+    /// exactly one bucket, so `cpu_groups + gpu_groups + recovered_groups
+    /// + redispatched_groups + lost_groups` always equals the input
+    /// `num_groups`.
     pub recovered_groups: usize,
+    /// Work-groups reclaimed from a straggling dispatch by the launch
+    /// deadline (see [`run_des_supervised`]) and completed by a surviving
+    /// agent. Disjoint from the other buckets.
+    pub redispatched_groups: usize,
     /// Work-groups no surviving agent could execute (every device dead).
     pub lost_groups: usize,
     /// Times the watchdog reclaimed in-flight work from a hung agent.
@@ -93,15 +98,32 @@ pub struct DesReport {
     /// or lost work). Slowdowns alone do not set this — they degrade time,
     /// not capacity.
     pub degraded: bool,
+    /// Whether a CPU core faulted during the run (stall, hang, or a missed
+    /// launch deadline). Drives the runtime's per-device circuit breakers.
+    pub cpu_faulted: bool,
+    /// Whether the GPU faulted during the run (hang or a missed launch
+    /// deadline).
+    pub gpu_faulted: bool,
+}
+
+/// Where a dispatch's work-groups came from: the original worklists, the
+/// watchdog's reclaim pool, or the deadline re-dispatch pool. Completions
+/// are accounted per source so the conservation invariant holds bucket by
+/// bucket.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Source {
+    Fresh,
+    Recovered,
+    Redispatched,
 }
 
 #[derive(Debug, Clone, Copy)]
 enum State {
     Idle,
-    /// Waiting out dispatch latency. `recovered` tags work pulled from the
-    /// watchdog's reclaim pool rather than the original worklists.
-    Latency { remaining_s: f64, pending_groups: usize, recovered: bool },
-    Busy { rem_compute_s: f64, rem_bytes: f64, groups: usize, recovered: bool },
+    /// Waiting out dispatch latency. `source` tags where the pending work
+    /// was pulled from.
+    Latency { remaining_s: f64, pending_groups: usize, source: Source },
+    Busy { rem_compute_s: f64, rem_bytes: f64, groups: usize, source: Source },
     /// Faulted with work in flight; the watchdog reclaims the groups when
     /// `deadline_s` passes and the agent becomes `Dead`.
     Hung { deadline_s: f64, groups: usize },
@@ -118,7 +140,12 @@ struct Agent {
     groups_done: usize,
     /// Reclaimed groups this agent completed on behalf of a dead one.
     recovered_done: usize,
+    /// Deadline-reclaimed groups this agent completed for a straggler.
+    redispatched_done: usize,
     busy_s: f64,
+    /// Absolute simulated time by which the current dispatch must finish
+    /// (set at claim time when the run has a launch deadline).
+    deadline_at: Option<f64>,
     /// Whether this GPU agent has paid its dispatch latency (pull mode
     /// pays once per persistent kernel).
     launched: bool,
@@ -157,11 +184,40 @@ pub fn run_des(input: &DesInput) -> DesReport {
 /// Panics if `cpu_cores > 0` without `cpu_cost`, or if both devices are
 /// disabled with work remaining.
 pub fn run_des_with_faults(input: &DesInput, plan: &FaultPlan) -> DesReport {
+    run_des_supervised(input, plan, None)
+}
+
+/// Run the simulation under a [`FaultPlan`] with an optional per-dispatch
+/// **launch deadline** (seconds, measured from the instant an agent claims
+/// work). A dispatch still pending when its deadline passes is treated as
+/// a straggler: its work-groups are reclaimed into a re-dispatch pool that
+/// surviving agents drain after their own worklists — GPU stragglers land
+/// on the CPU pull worklist and vice versa — without waiting for the
+/// watchdog's hang-only reclaim. Completions of reclaimed groups are
+/// reported in [`DesReport::redispatched_groups`]. Non-finite or
+/// non-positive deadlines are ignored.
+///
+/// # Panics
+/// Panics if `cpu_cores > 0` without `cpu_cost`, or if both devices are
+/// disabled with work remaining.
+pub fn run_des_supervised(
+    input: &DesInput,
+    plan: &FaultPlan,
+    deadline_s: Option<f64>,
+) -> DesReport {
+    let deadline_s = deadline_s.filter(|d| d.is_finite() && *d > 0.0);
     if fast_path_applies(input, plan) {
-        run_des_fast(input)
-    } else {
-        run_des_exact_with_faults(input, plan)
+        let report = run_des_fast(input);
+        // Every dispatch's duration is bounded by the makespan, so a
+        // dispatch can only outlive the deadline if the whole run does.
+        // When the makespan fits, the batched result is exact; otherwise
+        // replay the event loop so stragglers are re-dispatched.
+        match deadline_s {
+            Some(d) if report.time_s > d => {}
+            _ => return report,
+        }
     }
+    run_des_exact_supervised(input, plan, deadline_s)
 }
 
 /// Whether [`run_des_with_faults`] may use the batched fast path: the run
@@ -195,6 +251,21 @@ pub fn run_des_exact(input: &DesInput) -> DesReport {
 /// Panics if `cpu_cores > 0` without `cpu_cost`, or if both devices are
 /// disabled with work remaining.
 pub fn run_des_exact_with_faults(input: &DesInput, plan: &FaultPlan) -> DesReport {
+    run_des_exact_supervised(input, plan, None)
+}
+
+/// The exact event loop with an optional launch deadline — the
+/// general-case implementation behind [`run_des_supervised`].
+///
+/// # Panics
+/// Panics if `cpu_cores > 0` without `cpu_cost`, or if both devices are
+/// disabled with work remaining.
+pub fn run_des_exact_supervised(
+    input: &DesInput,
+    plan: &FaultPlan,
+    deadline_s: Option<f64>,
+) -> DesReport {
+    let deadline_s = deadline_s.filter(|d| d.is_finite() && *d > 0.0);
     assert!(
         input.cpu_cores == 0 || input.cpu_cost.is_some(),
         "cpu_cores > 0 requires cpu_cost"
@@ -241,6 +312,8 @@ pub fn run_des_exact_with_faults(input: &DesInput, plan: &FaultPlan) -> DesRepor
             state: State::Idle,
             groups_done: 0,
             recovered_done: 0,
+            redispatched_done: 0,
+            deadline_at: None,
             busy_s: 0.0,
             launched: false,
             dispatches: 0,
@@ -263,6 +336,8 @@ pub fn run_des_exact_with_faults(input: &DesInput, plan: &FaultPlan) -> DesRepor
                     state: State::Idle,
                     groups_done: 0,
                     recovered_done: 0,
+            redispatched_done: 0,
+            deadline_at: None,
                     busy_s: 0.0,
                     launched: false,
                     dispatches: 0,
@@ -278,6 +353,8 @@ pub fn run_des_exact_with_faults(input: &DesInput, plan: &FaultPlan) -> DesRepor
                 state: State::Idle,
                 groups_done: 0,
                 recovered_done: 0,
+            redispatched_done: 0,
+            deadline_at: None,
                 busy_s: 0.0,
                 launched: false,
                 dispatches: 0,
@@ -291,8 +368,11 @@ pub fn run_des_exact_with_faults(input: &DesInput, plan: &FaultPlan) -> DesRepor
     let mut time = 0.0f64;
     let mut dram_bytes = 0.0f64;
     let mut recovered_pool = 0usize;
+    let mut redispatch_pool = 0usize;
     let mut watchdog_fires = 0u32;
     let mut degraded = false;
+    let mut cpu_faulted = false;
+    let mut gpu_faulted = false;
     // Scratch buffers reused across events (launches can reach millions of
     // work-groups; per-event allocation would dominate).
     let mut caps: Vec<(usize, f64)> = Vec::with_capacity(agents.len());
@@ -309,6 +389,7 @@ pub fn run_des_exact_with_faults(input: &DesInput, plan: &FaultPlan) -> DesRepor
             }
             agent.stall_at = None;
             degraded = true;
+            cpu_faulted = true;
             agent.state = match agent.state {
                 State::Busy { groups, .. } => {
                     State::Hung { deadline_s: time + watchdog_s, groups }
@@ -328,8 +409,44 @@ pub fn run_des_exact_with_faults(input: &DesInput, plan: &FaultPlan) -> DesRepor
                     recovered_pool += groups;
                     watchdog_fires += 1;
                     degraded = true;
+                    if agent.is_gpu {
+                        gpu_faulted = true;
+                    } else {
+                        cpu_faulted = true;
+                    }
                     agent.state = State::Dead;
+                    agent.deadline_at = None;
                 }
+            }
+        }
+
+        // 0c. Deadline-based straggler re-dispatch: a dispatch still in
+        //     flight past the launch deadline is reclaimed into the
+        //     re-dispatch pool for surviving agents to pull — no need to
+        //     wait for the hang-only watchdog, and slow-but-alive
+        //     stragglers are caught too. The straggling agent is retired:
+        //     an agent that blew one deadline would blow the next.
+        if deadline_s.is_some() {
+            for agent in agents.iter_mut() {
+                let due = matches!(agent.deadline_at, Some(d) if d <= time + EPS);
+                if !due {
+                    continue;
+                }
+                agent.deadline_at = None;
+                let groups = match agent.state {
+                    State::Latency { pending_groups, .. } => pending_groups,
+                    State::Busy { groups, .. } => groups,
+                    State::Hung { groups, .. } => groups,
+                    _ => continue,
+                };
+                redispatch_pool += groups;
+                degraded = true;
+                if agent.is_gpu {
+                    gpu_faulted = true;
+                } else {
+                    cpu_faulted = true;
+                }
+                agent.state = State::Dead;
             }
         }
 
@@ -342,10 +459,12 @@ pub fn run_des_exact_with_faults(input: &DesInput, plan: &FaultPlan) -> DesRepor
             }
             if agent.is_gpu {
                 let pool = if shared > 0 { &mut shared_pool } else { &mut gpu_pool };
-                let (pool, recovered) = if *pool > 0 {
-                    (pool, false)
+                let (pool, source) = if *pool > 0 {
+                    (pool, Source::Fresh)
+                } else if redispatch_pool > 0 {
+                    (&mut redispatch_pool, Source::Redispatched)
                 } else {
-                    (&mut recovered_pool, true)
+                    (&mut recovered_pool, Source::Recovered)
                 };
                 let take = gpu_chunk.min(*pool);
                 if take == 0 {
@@ -353,6 +472,7 @@ pub fn run_des_exact_with_faults(input: &DesInput, plan: &FaultPlan) -> DesRepor
                     continue;
                 }
                 *pool -= take;
+                agent.deadline_at = deadline_s.map(|d| time + d);
                 let dispatch = agent.dispatches;
                 agent.dispatches += 1;
                 if agent.hang_eligible && plan.gpu_hang_at_dispatch == Some(dispatch) {
@@ -361,6 +481,7 @@ pub fn run_des_exact_with_faults(input: &DesInput, plan: &FaultPlan) -> DesRepor
                     agent.state =
                         State::Hung { deadline_s: time + watchdog_s, groups: take };
                     degraded = true;
+                    gpu_faulted = true;
                     continue;
                 }
                 let params = input.gpu.as_ref().unwrap();
@@ -371,25 +492,28 @@ pub fn run_des_exact_with_faults(input: &DesInput, plan: &FaultPlan) -> DesRepor
                 };
                 agent.launched = true;
                 agent.state =
-                    State::Latency { remaining_s: latency, pending_groups: take, recovered };
+                    State::Latency { remaining_s: latency, pending_groups: take, source };
                 let _ = i;
             } else {
                 let pool = if shared > 0 { &mut shared_pool } else { &mut cpu_pool };
-                let (pool, recovered) = if *pool > 0 {
-                    (pool, false)
+                let (pool, source) = if *pool > 0 {
+                    (pool, Source::Fresh)
+                } else if redispatch_pool > 0 {
+                    (&mut redispatch_pool, Source::Redispatched)
                 } else {
-                    (&mut recovered_pool, true)
+                    (&mut recovered_pool, Source::Recovered)
                 };
                 if *pool == 0 {
                     agent.state = State::Done;
                     continue;
                 }
                 *pool -= 1;
+                agent.deadline_at = deadline_s.map(|d| time + d);
                 agent.state = State::Busy {
                     rem_compute_s: agent.cost.compute_s * agent.slowdown,
                     rem_bytes: agent.cost.dram_bytes,
                     groups: 1,
-                    recovered,
+                    source,
                 };
                 dram_bytes += agent.cost.dram_bytes;
             }
@@ -455,6 +579,14 @@ pub fn run_des_exact_with_faults(input: &DesInput, plan: &FaultPlan) -> DesRepor
                     dt = dt.min(stall - time);
                 }
             }
+            if let Some(d) = agent.deadline_at {
+                if matches!(
+                    agent.state,
+                    State::Latency { .. } | State::Busy { .. } | State::Hung { .. }
+                ) {
+                    dt = dt.min(d - time);
+                }
+            }
         }
         assert!(dt.is_finite(), "deadlock: busy agents cannot progress");
         let dt = dt.max(0.0);
@@ -464,12 +596,12 @@ pub fn run_des_exact_with_faults(input: &DesInput, plan: &FaultPlan) -> DesRepor
         time += dt;
         for (i, agent) in agents.iter_mut().enumerate() {
             match &mut agent.state {
-                State::Latency { remaining_s, pending_groups, recovered } => {
+                State::Latency { remaining_s, pending_groups, source } => {
                     agent.busy_s += dt;
                     *remaining_s -= dt;
                     if *remaining_s <= EPS {
                         let groups = *pending_groups;
-                        let recovered = *recovered;
+                        let source = *source;
                         let params = input.gpu.as_ref().unwrap();
                         // Per-CU agents process their single group alone;
                         // the chunked device spreads a chunk across CUs.
@@ -483,22 +615,23 @@ pub fn run_des_exact_with_faults(input: &DesInput, plan: &FaultPlan) -> DesRepor
                             rem_compute_s: agent.cost.compute_s * waves,
                             rem_bytes: bytes,
                             groups,
-                            recovered,
+                            source,
                         };
                         dram_bytes += bytes;
                     }
                 }
-                State::Busy { rem_compute_s, rem_bytes, groups, recovered } => {
+                State::Busy { rem_compute_s, rem_bytes, groups, source } => {
                     agent.busy_s += dt;
                     *rem_compute_s = (*rem_compute_s - dt).max(0.0);
                     *rem_bytes = (*rem_bytes - rates[i] * dt).max(0.0);
                     if *rem_compute_s <= EPS && *rem_bytes <= EPS {
-                        if *recovered {
-                            agent.recovered_done += *groups;
-                        } else {
-                            agent.groups_done += *groups;
+                        match source {
+                            Source::Fresh => agent.groups_done += *groups,
+                            Source::Recovered => agent.recovered_done += *groups,
+                            Source::Redispatched => agent.redispatched_done += *groups,
                         }
                         agent.state = State::Idle;
+                        agent.deadline_at = None;
                     }
                 }
                 _ => {}
@@ -511,9 +644,10 @@ pub fn run_des_exact_with_faults(input: &DesInput, plan: &FaultPlan) -> DesRepor
     let gpu_groups: usize =
         agents.iter().filter(|a| a.is_gpu).map(|a| a.groups_done).sum();
     let recovered_groups: usize = agents.iter().map(|a| a.recovered_done).sum();
+    let redispatched_groups: usize = agents.iter().map(|a| a.redispatched_done).sum();
     let cpu_busy: f64 = agents.iter().filter(|a| !a.is_gpu).map(|a| a.busy_s).sum();
     let gpu_busy: f64 = agents.iter().filter(|a| a.is_gpu).map(|a| a.busy_s).sum();
-    let lost_groups = cpu_pool + gpu_pool + shared_pool + recovered_pool;
+    let lost_groups = cpu_pool + gpu_pool + shared_pool + recovered_pool + redispatch_pool;
     if lost_groups > 0 {
         degraded = true;
     }
@@ -527,9 +661,12 @@ pub fn run_des_exact_with_faults(input: &DesInput, plan: &FaultPlan) -> DesRepor
         cpu_busy_s: cpu_busy,
         gpu_busy_s: gpu_busy,
         recovered_groups,
+        redispatched_groups,
         lost_groups,
         watchdog_fires,
         degraded,
+        cpu_faulted,
+        gpu_faulted,
     }
 }
 
@@ -921,9 +1058,12 @@ fn run_des_fast(input: &DesInput) -> DesReport {
         cpu_busy_s: cpu_busy,
         gpu_busy_s: gpu_busy,
         recovered_groups: 0,
+        redispatched_groups: 0,
         lost_groups,
         watchdog_fires: 0,
         degraded: lost_groups > 0,
+        cpu_faulted: false,
+        gpu_faulted: false,
     }
 }
 
@@ -1418,6 +1558,153 @@ mod tests {
         assert_eq!(r.recovered_groups, 1, "pull agents hold one group each");
         assert_eq!(r.watchdog_fires, 1);
         assert!(r.degraded);
+    }
+
+    #[test]
+    fn deadline_redispatches_hung_gpu_chunk_before_watchdog() {
+        // GPU's first dispatch hangs. The watchdog would only fire at 1 s;
+        // a 5 ms launch deadline reclaims the chunk much earlier and the
+        // CPU finishes it, counted as redispatched (not recovered).
+        let input = DesInput {
+            num_groups: 100,
+            cpu_cores: 2,
+            cpu_cost: Some(cost(1e-3, 0.0, 6.0)),
+            gpu: Some(GpuAgentParams {
+                cost: cost(1e-3, 0.0, 10.0),
+                cus: 10,
+                launch_latency_s: 1e-3,
+            }),
+            schedule: Schedule::Dynamic { chunk_divisor: 10 },
+            dram_bw_gbs: 15.0,
+        };
+        let plan = FaultPlan {
+            gpu_hang_at_dispatch: Some(0),
+            watchdog_timeout_s: Some(1.0),
+            ..FaultPlan::default()
+        };
+        let with_deadline = run_des_supervised(&input, &plan, Some(5e-3));
+        assert_eq!(with_deadline.watchdog_fires, 0, "deadline preempts the watchdog");
+        assert_eq!(with_deadline.redispatched_groups, 10);
+        assert_eq!(with_deadline.recovered_groups, 0);
+        assert_eq!(
+            with_deadline.cpu_groups
+                + with_deadline.gpu_groups
+                + with_deadline.redispatched_groups,
+            100
+        );
+        assert_eq!(with_deadline.lost_groups, 0);
+        assert!(with_deadline.gpu_faulted);
+        assert!(!with_deadline.cpu_faulted);
+        assert!(with_deadline.degraded);
+        let watchdog_only = run_des_supervised(&input, &plan, None);
+        assert!(
+            with_deadline.time_s < watchdog_only.time_s,
+            "deadline reclaim {} must beat the 1 s watchdog {}",
+            with_deadline.time_s,
+            watchdog_only.time_s
+        );
+    }
+
+    #[test]
+    fn deadline_redispatches_cpu_straggler_onto_gpu() {
+        // The lone CPU core runs 20x slow (20 ms per group); the 5 ms
+        // deadline retires it and its in-flight group finishes on the GPU.
+        let input = DesInput {
+            num_groups: 50,
+            cpu_cores: 1,
+            cpu_cost: Some(cost(1e-3, 0.0, 6.0)),
+            gpu: Some(gpu(cost(1e-3, 0.0, 10.0), 4)),
+            schedule: Schedule::Dynamic { chunk_divisor: 10 },
+            dram_bw_gbs: 15.0,
+        };
+        let plan = FaultPlan {
+            core_slowdowns: vec![CoreSlowdown { core: 0, factor: 20.0 }],
+            ..FaultPlan::default()
+        };
+        let r = run_des_supervised(&input, &plan, Some(5e-3));
+        assert_eq!(r.redispatched_groups, 1, "the in-flight CPU group moves to the GPU");
+        assert_eq!(
+            r.cpu_groups + r.gpu_groups + r.recovered_groups + r.redispatched_groups,
+            50
+        );
+        assert_eq!(r.lost_groups, 0);
+        assert!(r.cpu_faulted);
+        assert!(!r.gpu_faulted);
+        assert_eq!(r.watchdog_fires, 0, "a slow core never hangs");
+    }
+
+    #[test]
+    fn generous_deadline_keeps_fast_path_result() {
+        let input = DesInput {
+            num_groups: 64,
+            cpu_cores: 4,
+            cpu_cost: Some(cost(1e-3, 1e5, 6.0)),
+            gpu: Some(gpu(cost(0.5e-3, 2e5, 12.0), 8)),
+            schedule: Schedule::Dynamic { chunk_divisor: 10 },
+            dram_bw_gbs: 15.0,
+        };
+        let plain = run_des(&input);
+        let supervised = run_des_supervised(&input, &FaultPlan::none(), Some(1e3));
+        assert_eq!(plain, supervised);
+        assert_eq!(supervised.redispatched_groups, 0);
+        assert!(!supervised.cpu_faulted && !supervised.gpu_faulted);
+    }
+
+    #[test]
+    fn tight_deadline_on_long_healthy_run_reclaims_nothing() {
+        // Makespan (100 ms) exceeds the 5 ms deadline so the batched path
+        // is rejected, but every individual 1 ms dispatch meets it: the
+        // exact replay completes with nothing redispatched.
+        let input = DesInput {
+            num_groups: 100,
+            cpu_cores: 1,
+            cpu_cost: Some(cost(1e-3, 0.0, 6.0)),
+            gpu: None,
+            schedule: Schedule::Dynamic { chunk_divisor: 10 },
+            dram_bw_gbs: 15.0,
+        };
+        let plain = run_des(&input);
+        let supervised = run_des_supervised(&input, &FaultPlan::none(), Some(5e-3));
+        assert_eq!(supervised.redispatched_groups, 0);
+        assert_eq!(supervised.cpu_groups, 100);
+        assert!(!supervised.degraded);
+        assert!((supervised.time_s - plain.time_s).abs() < 1e-9 * plain.time_s.max(1.0));
+    }
+
+    #[test]
+    fn deadline_on_sole_device_loses_groups() {
+        // GPU-only run where the single chunk outlives the deadline and no
+        // other device survives: the reclaimed groups are lost, not hidden.
+        let input = DesInput {
+            num_groups: 10,
+            cpu_cores: 0,
+            cpu_cost: None,
+            gpu: Some(gpu(cost(10e-3, 0.0, 10.0), 1)),
+            schedule: Schedule::Static { cpu_fraction: 0.0 },
+            dram_bw_gbs: 15.0,
+        };
+        let r = run_des_supervised(&input, &FaultPlan::none(), Some(1e-3));
+        assert_eq!(r.lost_groups, 10);
+        assert_eq!(r.redispatched_groups, 0);
+        assert!(r.gpu_faulted);
+        assert!(r.degraded);
+    }
+
+    #[test]
+    fn nonsense_deadlines_are_ignored() {
+        let input = DesInput {
+            num_groups: 16,
+            cpu_cores: 2,
+            cpu_cost: Some(cost(1e-3, 0.0, 6.0)),
+            gpu: None,
+            schedule: Schedule::Dynamic { chunk_divisor: 10 },
+            dram_bw_gbs: 15.0,
+        };
+        let plain = run_des(&input);
+        for bad in [0.0, -1.0, f64::NAN, f64::NEG_INFINITY] {
+            let r = run_des_supervised(&input, &FaultPlan::none(), Some(bad));
+            assert_eq!(r, plain, "deadline {} must be ignored", bad);
+        }
     }
 
     #[test]

@@ -56,6 +56,10 @@ pub struct SimReport {
     /// surviving device completed (disjoint from `cpu_groups` /
     /// `gpu_groups`; zero on fault-free runs).
     pub recovered_groups: usize,
+    /// Work-groups reclaimed from a straggling dispatch by the launch
+    /// deadline and completed by a surviving device (zero unless
+    /// [`Engine::simulate_supervised`] was given a deadline).
+    pub redispatched_groups: usize,
     /// Work-groups no surviving device could execute (zero unless every
     /// device died).
     pub lost_groups: usize,
@@ -63,6 +67,10 @@ pub struct SimReport {
     pub watchdog_fires: u32,
     /// Whether the launch survived a capacity-losing fault.
     pub degraded: bool,
+    /// Whether a CPU core faulted (stall, hang, or missed deadline).
+    pub cpu_faulted: bool,
+    /// Whether the GPU faulted (hang or missed deadline).
+    pub gpu_faulted: bool,
 }
 
 /// The simulation engine for one platform.
@@ -144,6 +152,25 @@ impl Engine {
         malleable: bool,
         plan: &FaultPlan,
     ) -> SimReport {
+        self.simulate_supervised(profile, nd, dop, schedule, malleable, plan, None)
+    }
+
+    /// [`Engine::simulate_with_faults`] with an optional per-dispatch
+    /// launch deadline (seconds): dispatches still pending past the
+    /// deadline are reclaimed and re-dispatched onto the surviving device
+    /// (see [`des::run_des_supervised`]). `None` is bit-identical to
+    /// `simulate_with_faults`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn simulate_supervised(
+        &self,
+        profile: &KernelProfile,
+        nd: &NdRange,
+        dop: DopConfig,
+        schedule: Schedule,
+        malleable: bool,
+        plan: &FaultPlan,
+        deadline_s: Option<f64>,
+    ) -> SimReport {
         assert!(
             dop.cpu_cores > 0 || dop.gpu_frac > 0.0,
             "configuration CPU 0 / GPU 0 is excluded"
@@ -185,9 +212,9 @@ impl Engine {
             dram_bw_gbs: self.platform.mem.dram_bw_gbs,
         };
         let r = if self.exact_des_only {
-            des::run_des_exact_with_faults(&input, plan)
+            des::run_des_exact_supervised(&input, plan, deadline_s)
         } else {
-            des::run_des_with_faults(&input, plan)
+            des::run_des_supervised(&input, plan, deadline_s)
         };
         SimReport {
             time_s: r.time_s,
@@ -198,9 +225,12 @@ impl Engine {
             cpu_busy_s: r.cpu_busy_s,
             gpu_busy_s: r.gpu_busy_s,
             recovered_groups: r.recovered_groups,
+            redispatched_groups: r.redispatched_groups,
             lost_groups: r.lost_groups,
             watchdog_fires: r.watchdog_fires,
             degraded: r.degraded,
+            cpu_faulted: r.cpu_faulted,
+            gpu_faulted: r.gpu_faulted,
         }
     }
 

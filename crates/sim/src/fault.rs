@@ -73,6 +73,34 @@ impl FaultPlan {
         FaultPlan::default()
     }
 
+    /// Named fault presets for CLI/CI use (`--inject-preset`):
+    ///
+    /// * `gpu-hang` — the GPU's first chunk dispatch hangs on every launch
+    ///   (a persistent device fault; exercises watchdog reclaim, deadline
+    ///   re-dispatch and the GPU circuit breaker),
+    /// * `cpu-stall` — core 0 halts at t=0 on every launch,
+    /// * `transient-storm` — three consecutive transient profiling
+    ///   failures (exercises the bounded-retry path).
+    ///
+    /// Returns `None` for unknown names.
+    pub fn preset(name: &str) -> Option<FaultPlan> {
+        match name {
+            "gpu-hang" => Some(FaultPlan {
+                gpu_hang_at_dispatch: Some(0),
+                ..FaultPlan::default()
+            }),
+            "cpu-stall" => Some(FaultPlan {
+                core_stalls: vec![CoreStall { core: 0, at_s: 0.0 }],
+                ..FaultPlan::default()
+            }),
+            "transient-storm" => Some(FaultPlan {
+                transient_profile_failures: 3,
+                ..FaultPlan::default()
+            }),
+            _ => None,
+        }
+    }
+
     /// Whether the plan injects any DES-visible fault (profile failures
     /// are runtime-level and do not count).
     pub fn affects_des(&self) -> bool {
@@ -120,6 +148,22 @@ mod tests {
         assert_eq!(plan.watchdog_timeout(), DEFAULT_WATCHDOG_TIMEOUT_S);
         assert_eq!(plan.slowdown_for(0), 1.0);
         assert_eq!(plan.stall_for(0), None);
+    }
+
+    #[test]
+    fn presets_resolve_and_unknown_names_do_not() {
+        assert_eq!(
+            FaultPlan::preset("gpu-hang").unwrap().gpu_hang_at_dispatch,
+            Some(0)
+        );
+        assert_eq!(FaultPlan::preset("cpu-stall").unwrap().core_stalls.len(), 1);
+        assert_eq!(
+            FaultPlan::preset("transient-storm").unwrap().transient_profile_failures,
+            3
+        );
+        assert!(FaultPlan::preset("gpu-hang").unwrap().affects_des());
+        assert!(!FaultPlan::preset("transient-storm").unwrap().affects_des());
+        assert!(FaultPlan::preset("nonsense").is_none());
     }
 
     #[test]

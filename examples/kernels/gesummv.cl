@@ -1,0 +1,16 @@
+// PolyBench GESUMMV: y = alpha * A x + beta * B x.
+// Used by the CLI examples and the CI fault-matrix job
+// (`dopia run examples/kernels/gesummv.cl --inject-preset ...`).
+__kernel void gesummv(__global float* A, __global float* B, __global float* x,
+                      __global float* y, float alpha, float beta, int N) {
+    int i = get_global_id(0);
+    if (i < N) {
+        float t = 0.0f;
+        float s = 0.0f;
+        for (int j = 0; j < N; j++) {
+            t = t + A[i * N + j] * x[j];
+            s = s + B[i * N + j] * x[j];
+        }
+        y[i] = alpha * t + beta * s;
+    }
+}

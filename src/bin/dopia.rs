@@ -64,11 +64,17 @@ OPTIONS (run):
   --show-cpu           print the generated CPU code
   --no-launch-cache    disable the enqueue decision cache (profile every launch)
 
+SUPERVISION (run; the self-healing layer is on by default):
+  --no-supervision           disable circuit breakers, deadlines and quarantine
+  --breaker-threshold N      consecutive device faults that trip a breaker (default 3)
+  --deadline-factor F        launch deadline as F x the class's observed time (default 4)
+
 FAULT INJECTION (run; exercise the watchdog / degradation machinery):
   --inject-gpu-hang N        hang the GPU at its Nth chunk dispatch (0-based)
   --inject-core-stall C@T    stall CPU core C at simulated time T seconds
   --inject-slowdown C@F      slow CPU core C down by factor F (>= 1)
   --inject-profile-failures N  fail the next N profiling calls transiently
+  --inject-preset NAME       named plan: gpu-hang, cpu-stall, transient-storm
   --watchdog-s T             watchdog timeout in simulated seconds (default 0.05)"
     );
 }
@@ -87,6 +93,9 @@ struct Options {
     show_malleable: bool,
     show_cpu: bool,
     no_launch_cache: bool,
+    no_supervision: bool,
+    breaker_threshold: Option<u32>,
+    deadline_factor: Option<f64>,
     faults: FaultPlan,
 }
 
@@ -116,6 +125,9 @@ fn parse_options(argv: &[String]) -> Result<Options, String> {
         show_malleable: false,
         show_cpu: false,
         no_launch_cache: false,
+        no_supervision: false,
+        breaker_threshold: None,
+        deadline_factor: None,
         faults: FaultPlan::none(),
     };
     let mut it = argv.iter().peekable();
@@ -152,6 +164,41 @@ fn parse_options(argv: &[String]) -> Result<Options, String> {
             "--show-malleable" => opts.show_malleable = true,
             "--show-cpu" => opts.show_cpu = true,
             "--no-launch-cache" => opts.no_launch_cache = true,
+            "--no-supervision" => opts.no_supervision = true,
+            "--breaker-threshold" => {
+                let n: u32 =
+                    value(&mut it, a)?.parse().map_err(|e| format!("{}: {}", a, e))?;
+                if n == 0 {
+                    return Err("--breaker-threshold must be at least 1".into());
+                }
+                opts.breaker_threshold = Some(n);
+            }
+            "--deadline-factor" => {
+                let f: f64 =
+                    value(&mut it, a)?.parse().map_err(|e| format!("{}: {}", a, e))?;
+                if !f.is_finite() || f < 1.0 {
+                    return Err(format!(
+                        "--deadline-factor must be finite and >= 1, got {}",
+                        f
+                    ));
+                }
+                opts.deadline_factor = Some(f);
+            }
+            "--inject-preset" => {
+                let name = value(&mut it, a)?;
+                let preset = FaultPlan::preset(&name).ok_or_else(|| {
+                    format!(
+                        "unknown preset `{}` (gpu-hang, cpu-stall, transient-storm)",
+                        name
+                    )
+                })?;
+                if preset.gpu_hang_at_dispatch.is_some() {
+                    opts.faults.gpu_hang_at_dispatch = preset.gpu_hang_at_dispatch;
+                }
+                opts.faults.core_stalls.extend(preset.core_stalls);
+                opts.faults.core_slowdowns.extend(preset.core_slowdowns);
+                opts.faults.transient_profile_failures += preset.transient_profile_failures;
+            }
             "--inject-gpu-hang" => {
                 let n = value(&mut it, a)?.parse().map_err(|e| format!("{}: {}", a, e))?;
                 opts.faults.gpu_hang_at_dispatch = Some(n);
@@ -232,6 +279,13 @@ fn run(argv: &[String], sweep: bool) -> ExitCode {
     if opts.no_launch_cache {
         dopia.set_launch_cache_enabled(false);
     }
+    let sup_defaults = SupervisionConfig::default();
+    dopia.set_supervision_config(SupervisionConfig {
+        enabled: !opts.no_supervision,
+        breaker_threshold: opts.breaker_threshold.unwrap_or(sup_defaults.breaker_threshold),
+        deadline_factor: opts.deadline_factor.unwrap_or(sup_defaults.deadline_factor),
+        ..sup_defaults
+    });
     if opts.faults != FaultPlan::none() {
         if let Some(t) = opts.faults.watchdog_timeout_s {
             if !t.is_finite() || t <= 0.0 {
@@ -378,6 +432,19 @@ fn run(argv: &[String], sweep: bool) -> ExitCode {
             result.health.transient_retries,
         );
     }
+    let sup = dopia.supervision_stats();
+    println!(
+        "supervise: {} cpu_breaker={} gpu_breaker={} trips={} quarantined={} \
+         redispatched_groups={} pinned_launches={} nominal={}",
+        if dopia.supervision_config().enabled { "on" } else { "off (--no-supervision)" },
+        sup.cpu_breaker.name(),
+        sup.gpu_breaker.name(),
+        sup.breaker_trips,
+        sup.quarantined_kernels,
+        result.health.redispatched_groups,
+        result.health.breaker_pinned_launches,
+        result.health.is_nominal(),
+    );
     let cache = dopia.cache_stats();
     println!(
         "cache    : {} (hits {} / misses {} / evictions {} / invalidations {})",

@@ -57,9 +57,9 @@ pub use workloads;
 pub mod prelude {
     pub use crate::core::{
         baselines::{self, Baseline},
-        config_space, oracle, training, CodeFeatures, CommandQueue, DegradedMode, Dopia,
-        DopiaError, DopPoint, FeatureVector, LaunchResult, PerfModel, Program, QueueSummary,
-        RuntimeHealth, TrainingOptions,
+        config_space, oracle, training, BreakerState, CodeFeatures, CommandQueue, DegradedMode,
+        Dopia, DopiaError, DopPoint, FeatureVector, LaunchResult, PerfModel, Program,
+        QueueSummary, RuntimeHealth, SupervisionConfig, SupervisionStats, TrainingOptions,
     };
     pub use ml::ModelKind;
     pub use sim::{

@@ -5,9 +5,9 @@
 
 use proptest::prelude::*;
 use sim::cost::{cpu_group_cost, gpu_group_cost, GroupCost, ModelConstants};
-use sim::des::{run_des, DesInput, GpuAgentParams, Schedule};
+use sim::des::{run_des, run_des_supervised, DesInput, GpuAgentParams, Schedule};
 use sim::profile::{AccessClass, KernelProfile, SiteProfile};
-use sim::{NdRange, PlatformConfig};
+use sim::{CoreSlowdown, CoreStall, FaultPlan, NdRange, PlatformConfig};
 
 // ---------------------------------------------------------------------------
 // DES invariants
@@ -30,6 +30,28 @@ fn arb_schedule() -> impl Strategy<Value = Schedule> {
         (0.0f64..=1.0).prop_map(|f| Schedule::Static { cpu_fraction: f }),
         Just(Schedule::DynamicPull),
     ]
+}
+
+fn arb_fault_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        prop_oneof![Just(None), (0usize..4).prop_map(Some)],
+        prop::collection::vec(
+            (0usize..6, 0.0f64..2e-3).prop_map(|(core, at_s)| CoreStall { core, at_s }),
+            0..3,
+        ),
+        prop::collection::vec(
+            (0usize..6, 1.0f64..6.0).prop_map(|(core, factor)| CoreSlowdown { core, factor }),
+            0..3,
+        ),
+        prop_oneof![Just(None), (1e-4f64..1e-1).prop_map(Some)],
+    )
+        .prop_map(|(hang, stalls, slowdowns, watchdog)| FaultPlan {
+            gpu_hang_at_dispatch: hang,
+            core_stalls: stalls,
+            core_slowdowns: slowdowns,
+            transient_profile_failures: 0,
+            watchdog_timeout_s: watchdog,
+        })
 }
 
 proptest! {
@@ -141,6 +163,50 @@ proptest! {
             time_with(cores + 1, cpu_cost.dram_bytes)
                 <= time_with(cores, cpu_cost.dram_bytes) + group_latency * 1.001 + 1e-12
         );
+    }
+
+    /// Conservation under arbitrary fault plans and deadlines: every
+    /// work-group lands in exactly one of the five buckets — done on the
+    /// CPU, done on the GPU, watchdog-recovered, deadline-redispatched, or
+    /// lost — whatever breaks and whenever the deadline fires. And the
+    /// supervised DES stays deterministic.
+    #[test]
+    fn supervised_des_conserves_work_under_faults(
+        num_groups in 0usize..300,
+        cpu_cores in 0usize..6,
+        cpu_cost in arb_cost(),
+        gpu_cost in arb_cost(),
+        with_gpu in any::<bool>(),
+        schedule in arb_schedule(),
+        plan in arb_fault_plan(),
+        deadline in prop_oneof![Just(None), (1e-5f64..1e-2).prop_map(Some)],
+        bw in 5.0f64..40.0,
+    ) {
+        prop_assume!(cpu_cores > 0 || with_gpu);
+        let input = DesInput {
+            num_groups,
+            cpu_cores,
+            cpu_cost: if cpu_cores > 0 { Some(cpu_cost) } else { None },
+            gpu: if with_gpu {
+                Some(GpuAgentParams { cost: gpu_cost, cus: 8, launch_latency_s: 1e-5 })
+            } else {
+                None
+            },
+            schedule,
+            dram_bw_gbs: bw,
+        };
+        let r = run_des_supervised(&input, &plan, deadline);
+        prop_assert_eq!(
+            r.cpu_groups + r.gpu_groups + r.recovered_groups + r.redispatched_groups
+                + r.lost_groups,
+            num_groups,
+            "buckets must partition the launch: {:?}",
+            r
+        );
+        prop_assert!(r.time_s.is_finite() && r.time_s >= 0.0);
+        prop_assert!(r.dram_bytes >= 0.0);
+        let again = run_des_supervised(&input, &plan, deadline);
+        prop_assert_eq!(r, again);
     }
 
     /// Determinism: identical inputs give bit-identical reports.
