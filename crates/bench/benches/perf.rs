@@ -1,7 +1,8 @@
-//! Criterion benches of the PR's two performance tentpoles: the batched
-//! DES fast path (vs the exact per-agent event loop) and the enqueue
-//! decision cache (cold vs warm launch latency), plus the training-sweep
-//! throughput they combine into.
+//! Criterion benches of the repo's performance tentpoles: the batched
+//! DES fast path (vs the exact per-agent event loop), the enqueue
+//! decision cache (cold vs warm launch latency), the training-sweep
+//! throughput they combine into, and the bytecode-VM profiler against the
+//! tree-walking reference interpreter on a cold (cache-miss) profile.
 //!
 //! ```sh
 //! cargo bench -p dopia-bench --bench perf
@@ -147,5 +148,42 @@ fn bench_training_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_des_sweep, bench_enqueue_latency, bench_training_sweep);
+/// Cold-profile cost (the cache-miss enqueue tail): sampled interpretation
+/// of gesummv at paper scale on the tree-walking reference interpreter vs
+/// the bytecode VM, with and without the per-build compile amortized away
+/// (the runtime caches the `CompiledKernel` in `PreparedKernel`, so
+/// `vm_precompiled` is the shape every launch actually pays).
+fn bench_cold_profile(c: &mut Criterion) {
+    let mut reference = Engine::kaveri();
+    reference.reference_interpreter = true;
+    let vm_engine = Engine::kaveri();
+    let mut mem = Memory::new();
+    let built = workloads::polybench::gesummv(&mut mem, 16384, 256);
+    let ck = sim::compile_kernel(&built.kernel).unwrap();
+
+    let mut group = c.benchmark_group("cold_profile_gesummv_16k");
+    group.bench_function("tree_walker", |b| {
+        b.iter(|| reference.profile(built.spec(), &mut mem).unwrap().ops_per_item())
+    });
+    group.bench_function("vm_compile_included", |b| {
+        b.iter(|| vm_engine.profile(built.spec(), &mut mem).unwrap().ops_per_item())
+    });
+    group.bench_function("vm_precompiled", |b| {
+        b.iter(|| {
+            vm_engine
+                .profile_compiled(&ck, &built.args, &built.nd, &mut mem)
+                .unwrap()
+                .ops_per_item()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_des_sweep,
+    bench_enqueue_latency,
+    bench_training_sweep,
+    bench_cold_profile
+);
 criterion_main!(benches);

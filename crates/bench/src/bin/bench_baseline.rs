@@ -1,7 +1,9 @@
-//! Measure the PR's headline performance numbers and emit
+//! Measure the repo's headline performance numbers and emit
 //! `results/BENCH_baseline.json`: the tiny_training_set-scale sweep with
-//! the DES fast path on vs forced-exact (acceptance floor: ≥ 5×), single
-//! enqueue latency cold vs cache-hit, and the raw 44-config DES sweep.
+//! the DES fast path on vs forced-exact (acceptance floor: ≥ 5×), the
+//! cold-profile cost on the bytecode VM vs the tree-walking reference
+//! interpreter (acceptance floor: ≥ 3×), single enqueue latency cold vs
+//! cache-hit, and the raw 44-config DES sweep.
 //!
 //! ```sh
 //! cargo run --release -p dopia-bench --bin bench_baseline
@@ -107,7 +109,33 @@ fn main() {
         des_exact_s / des_fast_s
     );
 
-    // 3. Enqueue latency cold vs cache hit.
+    // 3. Cold-profile cost: sampled interpretation of gesummv at paper
+    // scale on the tree-walking reference interpreter vs the bytecode VM
+    // (compile included, and precompiled as the enqueue path pays it).
+    let mut reference = fast.clone();
+    reference.reference_interpreter = true;
+    let ck = sim::compile_kernel(&built.kernel).unwrap();
+    let profile_tree_s = time_median(9, || {
+        std::hint::black_box(reference.profile(built.spec(), &mut mem).unwrap());
+    });
+    let profile_vm_s = time_median(9, || {
+        std::hint::black_box(fast.profile(built.spec(), &mut mem).unwrap());
+    });
+    let profile_vm_precompiled_s = time_median(9, || {
+        std::hint::black_box(
+            fast.profile_compiled(&ck, &built.args, &built.nd, &mut mem).unwrap(),
+        );
+    });
+    let interp_speedup = profile_tree_s / profile_vm_precompiled_s;
+    println!(
+        "cold profile: tree-walker {:.3}ms  vm {:.3}ms  vm precompiled {:.3}ms  speedup {:.1}x",
+        profile_tree_s * 1e3,
+        profile_vm_s * 1e3,
+        profile_vm_precompiled_s * 1e3,
+        interp_speedup
+    );
+
+    // 4. Enqueue latency cold vs cache hit.
     let (data, _) = dopia_core::training::tiny_training_set(&fast);
     let model = PerfModel::train(ModelKind::Dt, &data, 42);
     let dopia = Dopia::new(fast.clone(), model);
@@ -142,13 +170,17 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"sweep_72x44\": {{\n    \"cached_fast_path_s\": {:.6},\n    \"uncached_exact_des_s\": {:.6},\n    \"speedup\": {:.2}\n  }},\n  \"des_44_sweep\": {{\n    \"fast_path_s\": {:.6},\n    \"exact_des_s\": {:.6},\n    \"speedup\": {:.2}\n  }},\n  \"enqueue\": {{\n    \"cold_s\": {:.6},\n    \"cache_hit_s\": {:.6},\n    \"speedup\": {:.2}\n  }}\n}}\n",
+        "{{\n  \"sweep_72x44\": {{\n    \"cached_fast_path_s\": {:.6},\n    \"uncached_exact_des_s\": {:.6},\n    \"speedup\": {:.2}\n  }},\n  \"des_44_sweep\": {{\n    \"fast_path_s\": {:.6},\n    \"exact_des_s\": {:.6},\n    \"speedup\": {:.2}\n  }},\n  \"interp\": {{\n    \"cold_profile_tree_walker_s\": {:.6},\n    \"cold_profile_vm_s\": {:.6},\n    \"cold_profile_vm_precompiled_s\": {:.6},\n    \"speedup\": {:.2}\n  }},\n  \"enqueue\": {{\n    \"cold_s\": {:.6},\n    \"cache_hit_s\": {:.6},\n    \"speedup\": {:.2}\n  }}\n}}\n",
         sweep_fast_s,
         sweep_exact_s,
         sweep_speedup,
         des_fast_s,
         des_exact_s,
         des_exact_s / des_fast_s,
+        profile_tree_s,
+        profile_vm_s,
+        profile_vm_precompiled_s,
+        interp_speedup,
         enqueue_cold_s,
         enqueue_hit_s,
         enqueue_cold_s / enqueue_hit_s,
@@ -161,5 +193,10 @@ fn main() {
         sweep_speedup >= 5.0,
         "acceptance: sweep speedup {:.2}x < 5x",
         sweep_speedup
+    );
+    assert!(
+        interp_speedup >= 3.0,
+        "acceptance: cold-profile VM speedup {:.2}x < 3x",
+        interp_speedup
     );
 }

@@ -1,0 +1,88 @@
+//! Identifier interning.
+//!
+//! Kernels mention the same handful of names — induction variables,
+//! parameters, builtins like `get_global_id` — hundreds of times, and the
+//! lexer used to allocate a fresh `String` for every occurrence. Interning
+//! collapses each distinct spelling to a [`Symbol`] (a `u32` index into a
+//! process-wide table), so tokens are `Copy` and identifier comparison is an
+//! integer compare. The parser resolves symbols back to strings when it
+//! builds the AST, keeping every downstream layer unchanged.
+//!
+//! The table is append-only and leaks its strings (`Box::leak`); growth is
+//! bounded by the number of *distinct* identifiers ever lexed, which for a
+//! compiler embedded in a long-running runtime is a few hundred bytes per
+//! program build at worst.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned identifier: a cheap, `Copy` handle to a unique spelling.
+/// Equal symbols always denote equal strings and vice versa.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Symbol(u32);
+
+struct Interner {
+    /// Spelling of each symbol, indexed by its `u32`.
+    strings: Vec<&'static str>,
+    lookup: HashMap<&'static str, u32>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner { strings: Vec::new(), lookup: HashMap::new() })
+    })
+}
+
+impl Symbol {
+    /// Intern `s`, returning the existing symbol if the spelling was seen
+    /// before.
+    pub fn intern(s: &str) -> Symbol {
+        let mut t = interner().lock().unwrap();
+        if let Some(&id) = t.lookup.get(s) {
+            return Symbol(id);
+        }
+        let id = u32::try_from(t.strings.len()).expect("interner overflow");
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        t.strings.push(leaked);
+        t.lookup.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// The interned spelling. Symbols only come from [`Symbol::intern`], so
+    /// the index is always in range.
+    pub fn as_str(self) -> &'static str {
+        interner().lock().unwrap().strings[self.0 as usize]
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedups_and_round_trips() {
+        let a = Symbol::intern("gid");
+        let b = Symbol::intern("gid");
+        let c = Symbol::intern("gid2");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.as_str(), "gid");
+        assert_eq!(c.as_str(), "gid2");
+    }
+
+    #[test]
+    fn symbols_are_stable_across_many_interns() {
+        let first = Symbol::intern("stable_name");
+        for _ in 0..100 {
+            assert_eq!(Symbol::intern("stable_name"), first);
+        }
+    }
+}

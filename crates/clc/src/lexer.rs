@@ -184,7 +184,7 @@ impl<'a> Lexer<'a> {
         let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
         let kind = match Keyword::lookup(text) {
             Some(kw) => TokenKind::Keyword(kw),
-            None => TokenKind::Ident(text.to_string()),
+            None => TokenKind::Ident(crate::intern::Symbol::intern(text)),
         };
         Token { kind, span: self.span_from(start, line, col) }
     }
@@ -306,7 +306,7 @@ mod tests {
             vec![
                 TokenKind::Keyword(Keyword::Kernel),
                 TokenKind::Keyword(Keyword::Void),
-                TokenKind::Ident("foo".into()),
+                TokenKind::Ident(crate::intern::Symbol::intern("foo")),
                 TokenKind::Keyword(Keyword::Kernel),
                 TokenKind::Keyword(Keyword::Global),
                 TokenKind::Eof,

@@ -39,7 +39,7 @@ impl<'a> Parser<'a> {
     }
 
     fn bump(&mut self) -> Token {
-        let t = self.peek().clone();
+        let t = *self.peek();
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
@@ -84,10 +84,10 @@ impl<'a> Parser<'a> {
     }
 
     fn expect_ident(&mut self, what: &str) -> Result<(String, Span)> {
-        match self.peek_kind().clone() {
-            TokenKind::Ident(name) => {
+        match *self.peek_kind() {
+            TokenKind::Ident(sym) => {
                 let span = self.bump().span;
-                Ok((name, span))
+                Ok((sym.as_str().to_string(), span))
             }
             other => Err(CompileError::parse(
                 format!("expected {} but found {}", what, other),
@@ -159,7 +159,7 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_scalar(&mut self) -> Result<Option<Scalar>> {
-        let kind = self.peek_kind().clone();
+        let kind = *self.peek_kind();
         let s = match kind {
             TokenKind::Keyword(Keyword::Void) => {
                 self.bump();
@@ -302,7 +302,7 @@ impl<'a> Parser<'a> {
         let (name, nspan) = self.expect_ident("variable name")?;
         let mut array_len = None;
         if self.eat_punct(Punct::LBracket) {
-            match self.peek_kind().clone() {
+            match *self.peek_kind() {
                 TokenKind::IntLit(n) if n > 0 => {
                     self.bump();
                     array_len = Some(n as usize);
@@ -593,7 +593,7 @@ impl<'a> Parser<'a> {
 
     fn parse_primary(&mut self) -> Result<Expr> {
         let span = self.peek().span;
-        match self.peek_kind().clone() {
+        match *self.peek_kind() {
             TokenKind::IntLit(value) => {
                 self.bump();
                 Ok(Expr::IntLit { value, span })
@@ -610,8 +610,9 @@ impl<'a> Parser<'a> {
                 self.bump();
                 Ok(Expr::BoolLit { value: false, span })
             }
-            TokenKind::Ident(name) => {
+            TokenKind::Ident(sym) => {
                 self.bump();
+                let name = sym.as_str().to_string();
                 if let Some(v) = builtins::named_constant(&name) {
                     return Ok(Expr::IntLit { value: v, span });
                 }

@@ -1,5 +1,6 @@
 //! Token definitions for the OpenCL-C subset.
 
+use crate::intern::Symbol;
 use crate::span::Span;
 use std::fmt;
 
@@ -111,11 +112,12 @@ pub enum Punct {
     MinusMinus,
 }
 
-/// The kinds of token the lexer can produce.
-#[derive(Debug, Clone, PartialEq)]
+/// The kinds of token the lexer can produce. `Copy`: identifiers are
+/// interned [`Symbol`]s, not owned strings.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TokenKind {
     Keyword(Keyword),
-    Ident(String),
+    Ident(Symbol),
     /// Integer literal (decimal or hex); suffixes `u`/`U`/`l`/`L` are folded.
     IntLit(i64),
     /// Floating-point literal; an optional `f`/`F` suffix is folded.
@@ -139,7 +141,7 @@ impl fmt::Display for TokenKind {
 }
 
 /// A token with its source span.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Token {
     pub kind: TokenKind,
     pub span: Span,

@@ -45,6 +45,10 @@ pub enum ArgSig {
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct LaunchKey {
     pub kernel_id: u64,
+    /// [`sim::CompiledKernel::code_id`] of the bytecode the profile came
+    /// from (0 when the kernel has no compiled form). A recompile mints a
+    /// fresh id, so decisions never outlive the code they characterized.
+    pub code_id: u64,
     pub nd: NdRange,
     pub args: Vec<ArgSig>,
 }
@@ -52,7 +56,7 @@ pub struct LaunchKey {
 impl LaunchKey {
     /// Build the key for a launch, reading buffer shapes and generations
     /// from `mem`.
-    pub fn new(kernel_id: u64, nd: NdRange, args: &[ArgValue], mem: &Memory) -> Self {
+    pub fn new(kernel_id: u64, code_id: u64, nd: NdRange, args: &[ArgValue], mem: &Memory) -> Self {
         let args = args
             .iter()
             .map(|a| match a {
@@ -65,7 +69,7 @@ impl LaunchKey {
                 ArgValue::Float(v) => ArgSig::Float(v.to_bits()),
             })
             .collect();
-        LaunchKey { kernel_id, nd, args }
+        LaunchKey { kernel_id, code_id, nd, args }
     }
 
     fn references_buffer(&self, id: usize) -> bool {
@@ -234,7 +238,7 @@ mod tests {
     }
 
     fn key(mem: &Memory, kernel_id: u64, args: &[ArgValue]) -> LaunchKey {
-        LaunchKey::new(kernel_id, NdRange::d1(64, 64), args, mem)
+        LaunchKey::new(kernel_id, 0, NdRange::d1(64, 64), args, mem)
     }
 
     #[test]

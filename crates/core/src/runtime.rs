@@ -23,10 +23,12 @@ use crate::supervision::{
     DevicePin, LaunchEvents, SupervisionConfig, SupervisionStats, Supervisor,
 };
 use sim::fault::FaultPlan;
-use sim::{ArgValue, BufferId, Engine, KernelProfile, Memory, NdRange, Schedule, SimReport};
+use sim::{
+    ArgValue, BufferId, CompiledKernel, Engine, KernelProfile, Memory, NdRange, Schedule, SimReport,
+};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Process-unique id source for [`PreparedKernel`]s (the launch cache keys
@@ -135,9 +137,22 @@ pub struct PreparedKernel {
     /// Generated CPU code (Fig. 7), 1-D and 2-D.
     pub cpu_source_1d: String,
     pub cpu_source_2d: String,
+    /// The original kernel lowered to flat bytecode at program build time;
+    /// every profile of this kernel runs on the register VM against this
+    /// handle. `None` only if bytecode compilation rejected the kernel —
+    /// profiling then falls back to the tree-walking interpreter, another
+    /// arm of graceful degradation. Invalidated with the prepared kernel
+    /// itself: a rebuild mints a new [`CompiledKernel`] (fresh `code_id`),
+    /// and the launch cache keys on that id.
+    pub compiled: Option<Arc<CompiledKernel>>,
 }
 
 impl PreparedKernel {
+    /// `code_id` of the compiled bytecode, or 0 when profiling falls back
+    /// to the tree-walker (cache keys embed this).
+    pub fn code_id(&self) -> u64 {
+        self.compiled.as_ref().map(|c| c.code_id()).unwrap_or(0)
+    }
     /// The malleable variant for a launch dimensionality (`None` when the
     /// kernel is degraded to [`DegradedMode::GpuOriginalOnly`]).
     pub fn malleable(&self, work_dim: usize) -> Option<&clc::Kernel> {
@@ -410,6 +425,10 @@ impl Dopia {
                 };
             let cpu_source_1d = generate_cpu_source(&kernel, 1);
             let cpu_source_2d = generate_cpu_source(&kernel, 2);
+            // Lower to bytecode once per program build; a kernel the
+            // bytecode compiler rejects stays launchable on the
+            // tree-walking interpreter.
+            let compiled = sim::compile_kernel(&kernel).ok().map(Arc::new);
             kernels.push(PreparedKernel {
                 id: NEXT_KERNEL_ID.fetch_add(1, Ordering::Relaxed),
                 original: kernel,
@@ -419,6 +438,7 @@ impl Dopia {
                 malleable_2d,
                 cpu_source_1d,
                 cpu_source_2d,
+                compiled,
             });
         }
         Ok(Program { source: source.to_string(), kernels })
@@ -503,7 +523,7 @@ impl Dopia {
         }
 
         let lookup_start = Instant::now();
-        let key = LaunchKey::new(prepared.id, nd, args, mem);
+        let key = LaunchKey::new(prepared.id, prepared.code_id(), nd, args, mem);
         let cached = self.launch_cache.lock().unwrap().get(&key);
         if let Some(hit) = cached {
             if let Some(mut selection) = hit.selection {
@@ -608,6 +628,15 @@ impl Dopia {
             return Err(DopiaError::Transient(
                 "injected transient profile failure".to_string(),
             ));
+        }
+        // Hot path: the bytecode cached at program build time, skipping
+        // per-launch lowering. Kernels without a compiled form (or runs
+        // forcing the reference interpreter) go through `Engine::profile`,
+        // which picks the engine per its options.
+        if !self.engine.reference_interpreter {
+            if let Some(ck) = &prepared.compiled {
+                return Ok(self.engine.profile_compiled(ck, args, &nd, mem)?);
+            }
         }
         let spec = sim::engine::LaunchSpec { kernel: &prepared.original, args, nd };
         Ok(self.engine.profile(spec, mem)?)

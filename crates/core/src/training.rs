@@ -157,7 +157,7 @@ pub fn measure_workload_cached(
     opts: &TrainingOptions,
     cache: &mut DecisionCache,
 ) -> Result<WorkloadRecord, sim::interp::ExecError> {
-    let key = LaunchKey::new(workload_key(&built.name), built.nd, &built.args, mem);
+    let key = LaunchKey::new(workload_key(&built.name), 0, built.nd, &built.args, mem);
     let profile = match cache.get(&key) {
         Some(hit) => hit.profile,
         None => {

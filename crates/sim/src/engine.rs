@@ -4,10 +4,10 @@ use crate::buffer::{ArgValue, Memory};
 use crate::cost::{self, ModelConstants};
 use crate::des::{self, DesInput, GpuAgentParams};
 use crate::fault::FaultPlan;
-use crate::interp::{self, ExecError, ExecOptions, NullTracer};
+use crate::interp::{self, CompiledKernel, ExecError, ExecOptions, NullTracer};
 use crate::ndrange::NdRange;
 use crate::platform::PlatformConfig;
-use crate::profile::{profile_kernel, KernelProfile};
+use crate::profile::{self, KernelProfile};
 use clc::Kernel;
 
 pub use crate::des::Schedule;
@@ -82,11 +82,20 @@ pub struct Engine {
     /// fast path applies. Used by the equivalence suite and the perf
     /// benchmarks to measure both paths through the same API.
     pub exact_des_only: bool,
+    /// Profile on the tree-walking reference interpreter instead of the
+    /// bytecode VM. The oracle for the differential suite; ~an order of
+    /// magnitude slower on cold enqueues.
+    pub reference_interpreter: bool,
 }
 
 impl Engine {
     pub fn new(platform: PlatformConfig) -> Self {
-        Engine { platform, consts: ModelConstants::default(), exact_des_only: false }
+        Engine {
+            platform,
+            consts: ModelConstants::default(),
+            exact_des_only: false,
+            reference_interpreter: false,
+        }
     }
 
     pub fn kaveri() -> Self {
@@ -98,11 +107,31 @@ impl Engine {
     }
 
     /// Characterize a launch by sampled interpretation (no timing).
+    /// Compiles the kernel to bytecode on the spot; callers with a cached
+    /// [`CompiledKernel`] should use [`Engine::profile_compiled`].
     pub fn profile(&self, spec: LaunchSpec<'_>, mem: &mut Memory) -> Result<KernelProfile, ExecError> {
         spec.nd
             .validate()
             .map_err(|m| ExecError { message: m, span: spec.kernel.span })?;
-        profile_kernel(spec.kernel, spec.args, &spec.nd, mem)
+        profile::profile_kernel_with(spec.kernel, spec.args, &spec.nd, mem, &self.profile_opts())
+    }
+
+    /// [`Engine::profile`] on a pre-compiled kernel — the cold-enqueue hot
+    /// path (compile once at prepare time, profile per launch geometry).
+    pub fn profile_compiled(
+        &self,
+        ck: &CompiledKernel,
+        args: &[ArgValue],
+        nd: &NdRange,
+        mem: &mut Memory,
+    ) -> Result<KernelProfile, ExecError> {
+        nd.validate()
+            .map_err(|m| ExecError { message: m, span: ck.span() })?;
+        profile::profile_compiled(ck, args, nd, mem, &self.profile_opts())
+    }
+
+    fn profile_opts(&self) -> ExecOptions {
+        ExecOptions { reference_interpreter: self.reference_interpreter, ..ExecOptions::profile() }
     }
 
     /// Execute a launch functionally (full interpretation; mutates `mem`).

@@ -4,11 +4,12 @@
 //! evaluator is generic over a [`Tracer`] so the functional path pays no
 //! profiling cost.
 
+use super::compile::SiteTable;
 use super::tracer::Tracer;
 use super::Value;
 use crate::buffer::{ArgValue, Memory};
 use crate::ndrange::NdRange;
-use clc::{AssignOp, BinOp, Expr, Kernel, Scalar, Span, Stmt, Type, UnOp};
+use clc::{AssignOp, BinOp, Expr, Kernel, Param, Scalar, Span, Stmt, Type, UnOp};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -29,11 +30,15 @@ pub struct ExecOptions {
     /// In profile mode, how many iterations of an analyzable loop are
     /// executed before extrapolating the remainder.
     pub profile_loop_samples: usize,
+    /// Profile with the tree-walking reference interpreter instead of the
+    /// bytecode VM. The two are kept trace-for-trace identical by the
+    /// differential suite; the tree-walker survives as the oracle.
+    pub reference_interpreter: bool,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { mode: Mode::Full, profile_loop_samples: 4 }
+        ExecOptions { mode: Mode::Full, profile_loop_samples: 4, reference_interpreter: false }
     }
 }
 
@@ -52,7 +57,7 @@ pub struct ExecError {
 }
 
 impl ExecError {
-    fn new(message: impl Into<String>, span: Span) -> Self {
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
         ExecError { message: message.into(), span }
     }
 }
@@ -65,7 +70,7 @@ impl fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
-type ExecResult<T> = Result<T, ExecError>;
+pub(super) type ExecResult<T> = Result<T, ExecError>;
 
 /// Statement completion status.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,21 +108,29 @@ struct Locals {
     by_name: HashMap<String, usize>,
 }
 
-/// Bind kernel arguments to parameter names, validating kinds.
-fn bind_params(kernel: &Kernel, args: &[ArgValue], mem: &Memory) -> ExecResult<Vec<(String, Value)>> {
-    if args.len() != kernel.params.len() {
+/// Bind kernel arguments to parameter slots (in declaration order),
+/// validating kinds. Shared by the tree-walker and the bytecode VM so both
+/// report byte-identical argument errors.
+pub(super) fn bind_args(
+    kernel_name: &str,
+    params: &[Param],
+    kernel_span: Span,
+    args: &[ArgValue],
+    mem: &Memory,
+) -> ExecResult<Vec<Value>> {
+    if args.len() != params.len() {
         return Err(ExecError::new(
             format!(
                 "kernel `{}` takes {} arguments, {} supplied",
-                kernel.name,
-                kernel.params.len(),
+                kernel_name,
+                params.len(),
                 args.len()
             ),
-            kernel.span,
+            kernel_span,
         ));
     }
     let mut bindings = Vec::with_capacity(args.len());
-    for (param, arg) in kernel.params.iter().zip(args) {
+    for (param, arg) in params.iter().zip(args) {
         let value = match (&param.ty, arg) {
             (Type::Ptr { elem, .. }, ArgValue::Buffer(id)) => {
                 let buf_elem = mem.get(*id).elem();
@@ -144,14 +157,20 @@ fn bind_params(kernel: &Kernel, args: &[ArgValue], mem: &Memory) -> ExecResult<V
                 ));
             }
         };
-        bindings.push((param.name.clone(), value));
+        bindings.push(value);
     }
     Ok(bindings)
 }
 
+/// Bind kernel arguments to parameter names (tree-walker scope layout).
+fn bind_params(kernel: &Kernel, args: &[ArgValue], mem: &Memory) -> ExecResult<Vec<(String, Value)>> {
+    let values = bind_args(&kernel.name, &kernel.params, kernel.span, args, mem)?;
+    Ok(kernel.params.iter().map(|p| p.name.clone()).zip(values).collect())
+}
+
 /// Split the kernel body into barrier-delimited phases. A `barrier(...)`
 /// appearing anywhere other than a top-level statement is an error.
-fn split_phases(body: &[Stmt], kernel_span: Span) -> ExecResult<Vec<&[Stmt]>> {
+pub(super) fn split_phases(body: &[Stmt], kernel_span: Span) -> ExecResult<Vec<&[Stmt]>> {
     fn contains_nested_barrier(stmt: &Stmt) -> bool {
         match stmt {
             Stmt::Expr(Expr::Call { name, .. }) => name == "barrier",
@@ -200,6 +219,7 @@ pub fn run_work_group<T: Tracer>(
 ) -> ExecResult<()> {
     let phases = split_phases(&kernel.body, kernel.span)?;
     let params = bind_params(kernel, args, mem)?;
+    let sites = SiteTable::build(kernel);
     let local_size = nd.local_size();
     let group = nd.group_coords(group_linear);
     let mut locals = Locals::default();
@@ -221,6 +241,7 @@ pub fn run_work_group<T: Tracer>(
                 mem,
                 tracer,
                 opts,
+                sites: &sites,
                 locals: &mut locals,
                 item,
                 nd,
@@ -284,6 +305,7 @@ pub fn run_single_items<T: Tracer>(
         ));
     }
     let params = bind_params(kernel, args, mem)?;
+    let sites = SiteTable::build(kernel);
     for &linear in global_ids {
         // Decompose the linear id into per-dimension global coordinates.
         let g0 = nd.global[0];
@@ -307,8 +329,18 @@ pub fn run_single_items<T: Tracer>(
         let mut locals = Locals::default();
         let mut item =
             ItemState { scopes: vec![params.clone()], priv_arrays: Vec::new(), returned: false };
-        let mut interp =
-            Interp { mem, tracer, opts, locals: &mut locals, item: &mut item, nd, gid, lid, grp };
+        let mut interp = Interp {
+            mem,
+            tracer,
+            opts,
+            sites: &sites,
+            locals: &mut locals,
+            item: &mut item,
+            nd,
+            gid,
+            lid,
+            grp,
+        };
         for stmt in &kernel.body {
             if matches!(interp.exec_stmt(stmt)?, Flow::Return) {
                 break;
@@ -322,6 +354,7 @@ struct Interp<'a, T: Tracer> {
     mem: &'a mut Memory,
     tracer: &'a mut T,
     opts: &'a ExecOptions,
+    sites: &'a SiteTable,
     locals: &'a mut Locals,
     item: &'a mut ItemState,
     nd: &'a NdRange,
@@ -787,72 +820,19 @@ impl<'a, T: Tracer> Interp<'a, T> {
     }
 
     fn binary(&mut self, op: BinOp, l: Value, r: Value, span: Span) -> ExecResult<Value> {
-        let float = l.is_float() || r.is_float();
-        self.tracer.arith(float, 1.0);
-        use BinOp::*;
-        if float {
-            let (a, b) = (l.as_f32(), r.as_f32());
-            return Ok(match op {
-                Add => Value::Float(a + b),
-                Sub => Value::Float(a - b),
-                Mul => Value::Float(a * b),
-                Div => Value::Float(a / b),
-                Lt => Value::Int((a < b) as i64),
-                Gt => Value::Int((a > b) as i64),
-                Le => Value::Int((a <= b) as i64),
-                Ge => Value::Int((a >= b) as i64),
-                Eq => Value::Int((a == b) as i64),
-                Ne => Value::Int((a != b) as i64),
-                other => {
-                    return Err(ExecError::new(
-                        format!("`{}` on float operands", other.symbol()),
-                        span,
-                    ));
-                }
-            });
-        }
-        let (a, b) = (l.as_i64(), r.as_i64());
-        Ok(match op {
-            Add => Value::Int(a.wrapping_add(b)),
-            Sub => Value::Int(a.wrapping_sub(b)),
-            Mul => Value::Int(a.wrapping_mul(b)),
-            Div => {
-                if b == 0 {
-                    return Err(ExecError::new("integer division by zero", span));
-                }
-                Value::Int(a.wrapping_div(b))
-            }
-            Rem => {
-                if b == 0 {
-                    return Err(ExecError::new("integer remainder by zero", span));
-                }
-                Value::Int(a.wrapping_rem(b))
-            }
-            Shl => Value::Int(a.wrapping_shl(b as u32)),
-            Shr => Value::Int(a.wrapping_shr(b as u32)),
-            BitAnd => Value::Int(a & b),
-            BitOr => Value::Int(a | b),
-            BitXor => Value::Int(a ^ b),
-            Lt => Value::Int((a < b) as i64),
-            Gt => Value::Int((a > b) as i64),
-            Le => Value::Int((a <= b) as i64),
-            Ge => Value::Int((a >= b) as i64),
-            Eq => Value::Int((a == b) as i64),
-            Ne => Value::Int((a != b) as i64),
-            And | Or => unreachable!("short-circuited above"),
-        })
+        binary_op(self.tracer, op, l, r, span)
     }
 
     // ----- lvalues & memory -------------------------------------------------
 
     /// Evaluate `base[index]` into (pointer value, element index, site key).
-    fn eval_index(&mut self, expr: &Expr) -> ExecResult<(Value, i64, usize)> {
+    fn eval_index(&mut self, expr: &Expr) -> ExecResult<(Value, i64, super::tracer::SiteKey)> {
         let Expr::Index { base, index, .. } = expr else {
             unreachable!("eval_index on non-index expression");
         };
         let ptr = self.eval(base)?;
         let idx = self.eval(index)?.as_i64();
-        let site = expr as *const Expr as usize;
+        let site = self.sites.id_of(expr);
         Ok((ptr, idx, site))
     }
 
@@ -1153,8 +1133,74 @@ impl<'a, T: Tracer> Interp<'a, T> {
     }
 }
 
+/// The binary-operator kernel shared verbatim by the tree-walking reference
+/// interpreter and the bytecode VM: one arith event, then C-style evaluation
+/// on int or float operands.
+pub(super) fn binary_op<T: Tracer>(
+    tracer: &mut T,
+    op: BinOp,
+    l: Value,
+    r: Value,
+    span: Span,
+) -> ExecResult<Value> {
+    let float = l.is_float() || r.is_float();
+    tracer.arith(float, 1.0);
+    use BinOp::*;
+    if float {
+        let (a, b) = (l.as_f32(), r.as_f32());
+        return Ok(match op {
+            Add => Value::Float(a + b),
+            Sub => Value::Float(a - b),
+            Mul => Value::Float(a * b),
+            Div => Value::Float(a / b),
+            Lt => Value::Int((a < b) as i64),
+            Gt => Value::Int((a > b) as i64),
+            Le => Value::Int((a <= b) as i64),
+            Ge => Value::Int((a >= b) as i64),
+            Eq => Value::Int((a == b) as i64),
+            Ne => Value::Int((a != b) as i64),
+            other => {
+                return Err(ExecError::new(
+                    format!("`{}` on float operands", other.symbol()),
+                    span,
+                ));
+            }
+        });
+    }
+    let (a, b) = (l.as_i64(), r.as_i64());
+    Ok(match op {
+        Add => Value::Int(a.wrapping_add(b)),
+        Sub => Value::Int(a.wrapping_sub(b)),
+        Mul => Value::Int(a.wrapping_mul(b)),
+        Div => {
+            if b == 0 {
+                return Err(ExecError::new("integer division by zero", span));
+            }
+            Value::Int(a.wrapping_div(b))
+        }
+        Rem => {
+            if b == 0 {
+                return Err(ExecError::new("integer remainder by zero", span));
+            }
+            Value::Int(a.wrapping_rem(b))
+        }
+        Shl => Value::Int(a.wrapping_shl(b as u32)),
+        Shr => Value::Int(a.wrapping_shr(b as u32)),
+        BitAnd => Value::Int(a & b),
+        BitOr => Value::Int(a | b),
+        BitXor => Value::Int(a ^ b),
+        Lt => Value::Int((a < b) as i64),
+        Gt => Value::Int((a > b) as i64),
+        Le => Value::Int((a <= b) as i64),
+        Ge => Value::Int((a >= b) as i64),
+        Eq => Value::Int((a == b) as i64),
+        Ne => Value::Int((a != b) as i64),
+        And | Or => unreachable!("short-circuited above"),
+    })
+}
+
 /// Convert a value to the given scalar type with C semantics.
-fn cast_value(v: Value, to: Scalar) -> Value {
+pub(super) fn cast_value(v: Value, to: Scalar) -> Value {
     match v {
         Value::GlobalPtr { .. } | Value::LocalPtr { .. } | Value::PrivPtr { .. } => v,
         _ => {
@@ -1169,7 +1215,7 @@ fn cast_value(v: Value, to: Scalar) -> Value {
 
 /// Syntactic check for a compile-time integer constant (used by loop
 /// analysis for step deltas).
-fn const_int(e: &Expr) -> Option<i64> {
+pub(super) fn const_int(e: &Expr) -> Option<i64> {
     match e {
         Expr::IntLit { value, .. } => Some(*value),
         Expr::Unary { op: UnOp::Neg, operand, .. } => const_int(operand).map(|v| -v),
@@ -1178,7 +1224,7 @@ fn const_int(e: &Expr) -> Option<i64> {
 }
 
 /// Does `stmt` contain any write to variable `var`?
-fn writes_var(stmt: &Stmt, var: &str) -> bool {
+pub(super) fn writes_var(stmt: &Stmt, var: &str) -> bool {
     fn expr_writes(e: &Expr, var: &str) -> bool {
         match e {
             Expr::Assign { target, value, .. } => {
@@ -1448,10 +1494,9 @@ mod tests {
         )
         .unwrap();
         let loads: f64 = t
-            .sites
-            .values()
-            .filter(|s| !s.is_store)
-            .map(|s| s.count)
+            .sites()
+            .filter(|(_, s)| !s.is_store)
+            .map(|(_, s)| s.count)
             .sum();
         assert!((loads - 1000.0).abs() < 1e-6, "extrapolated loads = {}", loads);
     }
@@ -1468,7 +1513,7 @@ mod tests {
             let mut mem = Memory::new();
             let a = mem.alloc_f32(vec![1.0; 8]);
             let mut t = TracingTracer::new();
-            let opts = ExecOptions { mode, profile_loop_samples: 4 };
+            let opts = ExecOptions { mode, ..ExecOptions::default() };
             run_single_items(
                 &k,
                 &[ArgValue::Buffer(a), ArgValue::Float(0.0), ArgValue::Int(8)],
@@ -1512,10 +1557,9 @@ mod tests {
         .unwrap();
         // Row 1 has 200 elements.
         let v_loads: f64 = t
-            .sites
-            .values()
-            .filter(|s| s.buffer == Some(v) && !s.is_store)
-            .map(|s| s.count)
+            .sites()
+            .filter(|(_, s)| s.buffer == Some(v) && !s.is_store)
+            .map(|(_, s)| s.count)
             .sum();
         assert!((v_loads - 200.0).abs() < 1e-6, "v loads = {}", v_loads);
     }

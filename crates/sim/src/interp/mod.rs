@@ -25,9 +25,12 @@
 //! work-group execution model for that shape. A barrier nested in control
 //! flow is reported as an unsupported-construct error.
 
+pub mod compile;
 mod exec;
 mod tracer;
+pub mod vm;
 
+pub use compile::{compile_kernel, compile_kernel_with, CompileOptions, CompiledKernel, SiteTable};
 pub use exec::{run_kernel, run_single_items, run_work_group, ExecError, ExecOptions, Mode};
 pub use tracer::{NullTracer, SiteKey, SiteStats, Tracer, TracingTracer};
 

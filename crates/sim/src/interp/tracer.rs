@@ -6,16 +6,18 @@
 //! prefixes from which access patterns, strides and footprints are derived.
 
 use crate::buffer::BufferId;
-use std::collections::HashMap;
 
-/// Identity of a static memory-access site. The interpreter keys sites by
-/// the address of their `Index` AST node, which is stable for the lifetime
-/// of the kernel AST — so repeated executions of the same expression
-/// accumulate into one site.
-pub type SiteKey = usize;
+/// Identity of a static memory-access site: a dense index assigned at
+/// compile time by [`crate::interp::compile::SiteTable`] (one id per `Index`
+/// expression in the kernel body, in traversal order). Dense ids let the
+/// tracer use a flat `Vec` instead of a hash map, and both the bytecode VM
+/// and the tree-walking reference interpreter share the same table — so
+/// repeated executions of the same expression accumulate into one site and
+/// the two engines produce comparable statistics.
+pub type SiteKey = u32;
 
 /// Recorded statistics for one access site during one work-item execution.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SiteStats {
     /// Buffer accessed (sites always target a single buffer in the subset).
     pub buffer: Option<BufferId>,
@@ -55,11 +57,13 @@ pub struct NullTracer;
 
 impl Tracer for NullTracer {}
 
-/// The recording tracer for profiling runs.
+/// The recording tracer for profiling runs. Site statistics live in a flat
+/// vector indexed by the dense [`SiteKey`] (grown on demand), so the per-
+/// access hot path is an array index instead of a hash lookup.
 #[derive(Debug, Default)]
 pub struct TracingTracer {
-    /// Per-site statistics.
-    pub sites: HashMap<SiteKey, SiteStats>,
+    /// Per-site statistics, indexed by site id; `None` for untouched sites.
+    sites: Vec<Option<SiteStats>>,
     /// Site keys in first-touch order (stable reporting order).
     pub site_order: Vec<SiteKey>,
     /// Extrapolated float-op count.
@@ -76,32 +80,35 @@ impl TracingTracer {
         TracingTracer { scale: 1.0, ..Default::default() }
     }
 
-    fn site_mut(
-        &mut self,
-        site: SiteKey,
-        buf: BufferId,
-        elem_bytes: usize,
-        is_store: bool,
-    ) -> &mut SiteStats {
-        if !self.sites.contains_key(&site) {
-            self.site_order.push(site);
-            self.sites.insert(
-                site,
-                SiteStats {
-                    buffer: Some(buf),
-                    elem_bytes,
-                    is_store,
-                    ..Default::default()
-                },
-            );
-        }
-        self.sites.get_mut(&site).unwrap()
+    /// Statistics for one site, if it was touched.
+    pub fn site(&self, site: SiteKey) -> Option<&SiteStats> {
+        self.sites.get(site as usize).and_then(|s| s.as_ref())
+    }
+
+    /// Touched sites in first-touch order.
+    pub fn sites(&self) -> impl Iterator<Item = (SiteKey, &SiteStats)> + '_ {
+        self.site_order.iter().map(move |&k| {
+            (k, self.sites[k as usize].as_ref().expect("ordered site present"))
+        })
     }
 
     fn access(&mut self, site: SiteKey, buf: BufferId, idx: i64, elem_bytes: usize, store: bool) {
-        let scale = self.scale;
-        let stats = self.site_mut(site, buf, elem_bytes, store);
-        stats.count += scale;
+        let slot = site as usize;
+        if slot >= self.sites.len() {
+            self.sites.resize(slot + 1, None);
+        }
+        let entry = &mut self.sites[slot];
+        if entry.is_none() {
+            self.site_order.push(site);
+            *entry = Some(SiteStats {
+                buffer: Some(buf),
+                elem_bytes,
+                is_store: store,
+                ..Default::default()
+            });
+        }
+        let stats = entry.as_mut().expect("just inserted");
+        stats.count += self.scale;
         if stats.prefix.len() < PREFIX_LEN {
             stats.prefix.push(idx);
         }
@@ -114,7 +121,7 @@ impl TracingTracer {
 
     /// Total accesses across all sites.
     pub fn total_accesses(&self) -> f64 {
-        self.sites.values().map(|s| s.count).sum()
+        self.sites.iter().flatten().map(|s| s.count).sum()
     }
 }
 
@@ -170,7 +177,7 @@ mod tests {
         for i in 0..100 {
             t.load(7, BufferId(0), i, 4);
         }
-        let s = &t.sites[&7];
+        let s = t.site(7).unwrap();
         assert_eq!(s.count, 100.0);
         assert_eq!(s.prefix.len(), PREFIX_LEN);
         assert_eq!(s.prefix[3], 3);
@@ -182,7 +189,18 @@ mod tests {
         let mut t = TracingTracer::new();
         t.load(1, BufferId(0), 0, 4);
         t.store(1, BufferId(0), 0, 4);
-        assert!(t.sites[&1].is_store);
+        assert!(t.site(1).unwrap().is_store);
         assert_eq!(t.total_accesses(), 2.0);
+    }
+
+    #[test]
+    fn sites_iterate_in_first_touch_order() {
+        let mut t = TracingTracer::new();
+        t.load(9, BufferId(0), 0, 4);
+        t.store(2, BufferId(1), 1, 8);
+        t.load(9, BufferId(0), 1, 4);
+        let order: Vec<SiteKey> = t.sites().map(|(k, _)| k).collect();
+        assert_eq!(order, vec![9, 2]);
+        assert!(t.site(3).is_none());
     }
 }

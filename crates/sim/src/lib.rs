@@ -44,6 +44,7 @@ pub mod profile;
 pub use buffer::{ArgValue, Buffer, BufferId, Memory};
 pub use engine::{Engine, LaunchSpec, Schedule, SimReport};
 pub use fault::{CoreSlowdown, CoreStall, FaultPlan};
+pub use interp::{compile_kernel, compile_kernel_with, CompileOptions, CompiledKernel};
 pub use ndrange::NdRange;
 pub use platform::{CpuConfig, GpuConfig, MemConfig, PlatformConfig};
 pub use profile::{AccessClass, KernelProfile};

@@ -17,7 +17,10 @@
 //! SpMV CPU-affine).
 
 use crate::buffer::{ArgValue, Memory};
-use crate::interp::{run_single_items, ExecError, ExecOptions, SiteStats, TracingTracer};
+use crate::interp::{
+    compile_kernel, run_single_items, vm, CompiledKernel, ExecError, ExecOptions, SiteKey,
+    SiteStats, TracingTracer,
+};
 use crate::ndrange::NdRange;
 use clc::Kernel;
 use std::collections::HashSet;
@@ -131,19 +134,12 @@ impl KernelProfile {
 const WINDOWS: usize = 3;
 const WINDOW_WIDTH: usize = 4;
 
-/// Profile `kernel` for the given launch geometry by interpreting sampled
-/// work-items. The kernel must be barrier-free (original, untransformed
-/// kernels always are).
-pub fn profile_kernel(
-    kernel: &Kernel,
-    args: &[ArgValue],
-    nd: &NdRange,
-    mem: &mut Memory,
-) -> Result<KernelProfile, ExecError> {
-    let total = nd.global_size();
-    // Order-preserving dedup: the Vec keeps first-touch order (windows must
-    // stay contiguous for the divergence pass), the set makes membership
-    // O(1) instead of the old O(n²) `Vec::contains` scans.
+/// The sampled work-item ids for a launch of `total` items: [`WINDOWS`]
+/// windows of [`WINDOW_WIDTH`] adjacent items. Order-preserving dedup — the
+/// Vec keeps first-touch order (windows must stay contiguous for the
+/// divergence pass) and overlapping windows on tiny NDRanges never list the
+/// same item twice, so `items_sampled` is exact.
+fn sample_ids(total: usize) -> Vec<usize> {
     let mut ids: Vec<usize> = Vec::new();
     let mut seen_ids: HashSet<usize> = HashSet::new();
     for w in 0..WINDOWS {
@@ -159,22 +155,82 @@ pub fn profile_kernel(
             }
         }
     }
+    ids
+}
 
-    let opts = ExecOptions::profile();
+/// Profile `kernel` for the given launch geometry by interpreting sampled
+/// work-items. The kernel must be barrier-free (original, untransformed
+/// kernels always are). Compiles to bytecode and runs the VM; use
+/// [`profile_kernel_with`] to pick options (including the tree-walking
+/// reference interpreter), or [`profile_compiled`] to reuse a cached
+/// [`CompiledKernel`].
+pub fn profile_kernel(
+    kernel: &Kernel,
+    args: &[ArgValue],
+    nd: &NdRange,
+    mem: &mut Memory,
+) -> Result<KernelProfile, ExecError> {
+    profile_kernel_with(kernel, args, nd, mem, &ExecOptions::profile())
+}
+
+/// Profile with explicit options. `opts.reference_interpreter` selects the
+/// tree-walking oracle; otherwise the kernel is compiled (once, here) and
+/// profiled on the bytecode VM.
+pub fn profile_kernel_with(
+    kernel: &Kernel,
+    args: &[ArgValue],
+    nd: &NdRange,
+    mem: &mut Memory,
+    opts: &ExecOptions,
+) -> Result<KernelProfile, ExecError> {
+    if !opts.reference_interpreter {
+        // A kernel the bytecode compiler rejects (e.g. register-file
+        // overflow) degrades to the tree-walker instead of failing the
+        // launch — the two engines are observationally equivalent.
+        if let Ok(ck) = compile_kernel(kernel) {
+            return profile_compiled(&ck, args, nd, mem, opts);
+        }
+    }
+    let ids = sample_ids(nd.global_size());
     // One tracer per item so per-item counts and cross-item deltas can be
-    // compared; site keys (AST node addresses) are shared across runs.
+    // compared; dense site ids are shared across runs.
     let mut tracers: Vec<TracingTracer> = Vec::with_capacity(ids.len());
     for &id in &ids {
         let mut t = TracingTracer::new();
-        run_single_items(kernel, args, nd, &[id], mem, &opts, &mut t)?;
+        run_single_items(kernel, args, nd, &[id], mem, opts, &mut t)?;
         tracers.push(t);
     }
+    Ok(aggregate(&ids, &tracers, mem))
+}
 
+/// Profile a pre-compiled kernel on the bytecode VM: the hot path for cold
+/// enqueues (compile once at prepare time, profile per launch geometry).
+pub fn profile_compiled(
+    ck: &CompiledKernel,
+    args: &[ArgValue],
+    nd: &NdRange,
+    mem: &mut Memory,
+    opts: &ExecOptions,
+) -> Result<KernelProfile, ExecError> {
+    let ids = sample_ids(nd.global_size());
+    let mut tracers: Vec<TracingTracer> = Vec::with_capacity(ids.len());
+    for &id in &ids {
+        let mut t = TracingTracer::new();
+        vm::run_single_items(ck, args, nd, &[id], mem, opts, &mut t)?;
+        tracers.push(t);
+    }
+    Ok(aggregate(&ids, &tracers, mem))
+}
+
+/// Fold per-item tracer records into a [`KernelProfile`]. Shared by both
+/// engines, so a profile is a pure function of the traced event streams —
+/// the differential suite compares profiles to pin VM ≡ tree-walker.
+fn aggregate(ids: &[usize], tracers: &[TracingTracer], mem: &Memory) -> KernelProfile {
     // Union of sites over all items, in first-touch order of the first item
     // that saw them.
-    let mut site_keys: Vec<usize> = Vec::new();
-    let mut seen_keys: HashSet<usize> = HashSet::new();
-    for t in &tracers {
+    let mut site_keys: Vec<SiteKey> = Vec::new();
+    let mut seen_keys: HashSet<SiteKey> = HashSet::new();
+    for t in tracers {
         for &k in &t.site_order {
             if seen_keys.insert(k) {
                 site_keys.push(k);
@@ -185,11 +241,11 @@ pub fn profile_kernel(
     let n_items = ids.len().max(1) as f64;
     let mut sites = Vec::with_capacity(site_keys.len());
     for &key in &site_keys {
-        let observed: Vec<&SiteStats> = tracers.iter().filter_map(|t| t.sites.get(&key)).collect();
+        let observed: Vec<&SiteStats> = tracers.iter().filter_map(|t| t.site(key)).collect();
         let count: f64 = observed.iter().map(|s| s.count).sum::<f64>() / n_items;
         let template = observed[0];
         let class = AccessClass::classify(&template.prefix);
-        let cross = cross_item_delta(&ids, &tracers, key);
+        let cross = cross_item_delta(ids, tracers, key);
         let buffer_elems = template.buffer.map(|b| mem.get(b).len()).unwrap_or(0);
         sites.push(SiteProfile {
             class,
@@ -221,25 +277,24 @@ pub fn profile_kernel(
         idx = window_end;
     }
 
-    Ok(KernelProfile {
+    KernelProfile {
         flops_per_item: flops,
         iops_per_item: iops,
         divergence,
         sites,
         items_sampled: ids.len(),
-    })
+    }
 }
 
 /// Median element-index delta between adjacent work-items at aligned
 /// points of their address prefixes.
-fn cross_item_delta(ids: &[usize], tracers: &[TracingTracer], key: usize) -> Option<i64> {
+fn cross_item_delta(ids: &[usize], tracers: &[TracingTracer], key: SiteKey) -> Option<i64> {
     let mut deltas: Vec<i64> = Vec::new();
     for i in 0..ids.len().saturating_sub(1) {
         if ids[i + 1] != ids[i] + 1 {
             continue; // only adjacent-id pairs are comparable
         }
-        let (Some(a), Some(b)) = (tracers[i].sites.get(&key), tracers[i + 1].sites.get(&key))
-        else {
+        let (Some(a), Some(b)) = (tracers[i].site(key), tracers[i + 1].site(key)) else {
             continue;
         };
         for (x, y) in a.prefix.iter().zip(b.prefix.iter()) {

@@ -63,6 +63,8 @@ OPTIONS (run):
   --show-malleable     print the malleable GPU rewrite
   --show-cpu           print the generated CPU code
   --no-launch-cache    disable the enqueue decision cache (profile every launch)
+  --reference-interpreter  profile on the tree-walking reference interpreter
+                       instead of the bytecode VM (slow; for differential checks)
 
 SUPERVISION (run; the self-healing layer is on by default):
   --no-supervision           disable circuit breakers, deadlines and quarantine
@@ -93,6 +95,7 @@ struct Options {
     show_malleable: bool,
     show_cpu: bool,
     no_launch_cache: bool,
+    reference_interpreter: bool,
     no_supervision: bool,
     breaker_threshold: Option<u32>,
     deadline_factor: Option<f64>,
@@ -125,6 +128,7 @@ fn parse_options(argv: &[String]) -> Result<Options, String> {
         show_malleable: false,
         show_cpu: false,
         no_launch_cache: false,
+        reference_interpreter: false,
         no_supervision: false,
         breaker_threshold: None,
         deadline_factor: None,
@@ -164,6 +168,7 @@ fn parse_options(argv: &[String]) -> Result<Options, String> {
             "--show-malleable" => opts.show_malleable = true,
             "--show-cpu" => opts.show_cpu = true,
             "--no-launch-cache" => opts.no_launch_cache = true,
+            "--reference-interpreter" => opts.reference_interpreter = true,
             "--no-supervision" => opts.no_supervision = true,
             "--breaker-threshold" => {
                 let n: u32 =
@@ -260,7 +265,10 @@ fn run(argv: &[String], sweep: bool) -> ExitCode {
         Err(e) => return fail(format!("{}: {}", opts.file, e)),
     };
     let engine = match engine_for(&opts.platform) {
-        Ok(e) => e,
+        Ok(mut e) => {
+            e.reference_interpreter = opts.reference_interpreter;
+            e
+        }
         Err(e) => return fail(e),
     };
     let model = match &opts.model {
